@@ -1,0 +1,71 @@
+// Shared scenario builders for the figure-reproduction benches.
+//
+// The paper's two testbed shapes (§II, §IV-A):
+//  - motivation/small-scale: a virtual Hadoop cluster on ONE bare-metal
+//    host (6 worker VMs in §II, 12 nodes = 10 workers in §IV-B);
+//  - large-scale: 152 nodes = 150 workers over 15 hosts (§IV-C).
+#pragma once
+
+#include <string>
+
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::bench {
+
+/// §II motivation cluster: 6 Hadoop VMs on one host.
+inline exp::Cluster motivation_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = seed;
+  return exp::make_cluster(p);
+}
+
+/// §IV-B small-scale cluster: the paper's 12-node virtual cluster on one
+/// host (2 masters live inside the framework, so 10 worker VMs).
+inline exp::Cluster small_scale_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 10;
+  p.seed = seed;
+  return exp::make_cluster(p);
+}
+
+/// §IV-C large-scale cluster: 152-node virtual cluster over 15 hosts
+/// (150 workers; 2 masters in the framework).
+inline exp::Cluster large_scale_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.hosts = 15;
+  p.workers = 150;
+  p.seed = seed;
+  p.tick_dt = 0.25;  // coarser ticks keep the big runs fast
+  return exp::make_cluster(p);
+}
+
+/// Measure a workload's standalone baseline JCT on a fresh, idle cluster of
+/// the same shape.
+inline double baseline_jct(const wl::JobSpec& job, std::uint64_t seed, int workers = 6) {
+  exp::ClusterParams p;
+  p.workers = workers;
+  p.seed = seed;
+  exp::Cluster c = exp::make_cluster(p);
+  return exp::run_job(c, job);
+}
+
+/// fio's standalone throughput: alone on an otherwise idle host.
+inline double fio_standalone_iops(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 1;  // an idle worker VM; fio has the device to itself
+  p.seed = seed;
+  exp::Cluster c = exp::make_cluster(p);
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.duty_period_s = 0.0});
+  exp::run_for(c, 60.0);
+  const auto* guest = dynamic_cast<const wl::FioRandomRead*>(c.vm(fio).guest());
+  return guest->achieved_iops();
+}
+
+/// The default benchmark size used in the motivation figures.
+inline wl::JobSpec motivation_job(const std::string& name) {
+  return wl::make_benchmark(name, 10);
+}
+
+}  // namespace perfcloud::bench

@@ -1,0 +1,45 @@
+// Figure 2 — Performance degradation due to a colocated memory-intensive
+// workload (STREAM).
+//
+// All six benchmarks run on the motivation cluster, alone and next to a
+// 16-thread STREAM VM. Expected shape: every benchmark degrades, and the
+// Spark benchmarks (in-memory iteration) degrade more than MapReduce.
+#include <iostream>
+
+#include "common.hpp"
+#include "exp/report.hpp"
+
+using namespace perfcloud;
+
+int main() {
+  constexpr std::uint64_t kSeed = 7;
+
+  exp::print_banner(std::cout, "Fig 2",
+                    "degradation due to colocated memory-intensive STREAM (16 threads)");
+  exp::Table t({"benchmark", "alone JCT (s)", "with STREAM (s)", "norm JCT", "degradation %"});
+
+  double mr_total = 0.0;
+  double spark_total = 0.0;
+  for (const std::string& name : wl::benchmark_names()) {
+    const wl::JobSpec job = bench::motivation_job(name);
+    const double base = bench::baseline_jct(job, kSeed);
+
+    exp::Cluster c = bench::motivation_cluster(kSeed);
+    exp::add_stream(c, "host-0", wl::StreamBenchmark::Params{.threads = 16});
+    const double jct = exp::run_job(c, job);
+
+    const double norm = jct / base;
+    t.add_row(name, {base, jct, norm, (norm - 1.0) * 100.0}, 2);
+    if (job.type == wl::JobType::kMapReduce) {
+      mr_total += norm;
+    } else {
+      spark_total += norm;
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nmean normalized JCT  MapReduce: " << exp::fmt(mr_total / 3.0, 2)
+            << "   Spark: " << exp::fmt(spark_total / 3.0, 2) << "\n";
+  std::cout << "Paper shape: both suffer; Spark suffers more (it reuses in-memory\n"
+               "intermediate data, so it is more sensitive to LLC/bandwidth contention).\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Figure 5 — Identifying the I/O antagonist by cross-correlating the
+// victim's iowait-ratio deviation signal with each colocated VM's I/O
+// throughput.
+//
+// Setup (§III-B): MapReduce terasort VMs colocated with VMs running fio
+// random read, sysbench oltp (8 threads, 120 s), and sysbench cpu
+// (4 threads). The suspects arrive at different times, as tenants do in a
+// real cloud: oltp at t=10, fio at t=30. Correlations are evaluated online,
+// with the window ending at the DETECTION INSTANT — the first sample where
+// the deviation crosses H = 10 after the antagonist arrives, which is the
+// moment a node manager decides whom to throttle. Expected shape: fio
+// correlates > 0.8 with a dataset as small as three samples; oltp and cpu
+// stay low.
+#include <algorithm>
+#include <iostream>
+
+#include "common.hpp"
+#include "exp/report.hpp"
+#include "sim/correlation.hpp"
+
+using namespace perfcloud;
+
+namespace {
+
+/// Victim-signal prefix ending at sample index `end` (inclusive).
+sim::TimeSeries prefix_of(const sim::TimeSeries& s, std::size_t end) {
+  sim::TimeSeries out;
+  for (std::size_t i = 0; i <= end && i < s.size(); ++i) out.add(s.time(i), s.value(i));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeed = 3;
+
+  exp::Cluster c = bench::motivation_cluster(kSeed);
+  const int oltp = exp::add_oltp(c, "host-0", wl::SysbenchOltp::Params{.start_s = 10.0});
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 30.0});
+  const int cpu = exp::add_sysbench_cpu(c, "host-0");
+  exp::enable_perfcloud(c, core::PerfCloudConfig{}, /*control=*/false);
+
+  exp::run_job(c, wl::make_terasort(30, 30));
+
+  core::NodeManager& nm = c.node_manager(0);
+  const sim::TimeSeries& victim = nm.io_signal("hadoop");
+
+  // --- (a)/(b): normalized victim signal and suspect throughputs ---
+  exp::print_banner(std::cout, "Fig 5(a,b)",
+                    "normalized victim deviation signal and suspect I/O throughputs");
+  exp::Table ts({"t (s)", "iowait dev (norm)", "fio IO (norm)", "oltp IO (norm)", "cpu IO (norm)"});
+  const auto vn = victim.normalized_by_peak();
+  const auto norm_suspect = [&](int vm) {
+    const sim::TimeSeries& s = nm.monitor().io_throughput_series(vm);
+    std::vector<double> aligned = sim::align_to(victim, s);
+    double peak = 0.0;
+    for (double v : aligned) peak = std::max(peak, std::abs(v));
+    if (peak > 0.0) {
+      for (double& v : aligned) v /= peak;
+    }
+    return aligned;
+  };
+  const auto f = norm_suspect(fio);
+  const auto o = norm_suspect(oltp);
+  const auto k = norm_suspect(cpu);
+  for (std::size_t i = 0; i < victim.size(); ++i) {
+    ts.add_row(exp::fmt(victim.time(i).seconds(), 0), {vn[i], f[i], o[i], k[i]}, 2);
+  }
+  ts.print(std::cout);
+
+  // --- (c): correlation vs dataset size at the detection instant ---
+  std::size_t det_idx = victim.size() - 1;
+  for (std::size_t i = 0; i < victim.size(); ++i) {
+    if (victim.time(i).seconds() > 30.0 && victim.value(i) > 10.0) {
+      det_idx = i;
+      break;
+    }
+  }
+  const sim::TimeSeries online_victim = prefix_of(victim, det_idx);
+
+  exp::print_banner(std::cout, "Fig 5(c)",
+                    "Pearson correlation vs dataset size (window ending at detection, t=" +
+                        exp::fmt(victim.time(det_idx).seconds(), 0) + " s)");
+  exp::Table t({"dataset size", "fio", "sysbench-oltp", "sysbench-cpu"});
+  for (const std::size_t window : {std::size_t{3}, std::size_t{6}, std::size_t{9},
+                                   std::size_t{12}, std::size_t{15}}) {
+    const auto corr = [&](int vm) {
+      return sim::pearson_missing_as_zero(online_victim, nm.monitor().io_throughput_series(vm),
+                                          window);
+    };
+    t.add_row(std::to_string(window), {corr(fio), corr(oltp), corr(cpu)}, 3);
+  }
+  t.print(std::cout);
+  std::cout << "\nPaper shape: fio > 0.8 already at dataset size 3 (three 5 s intervals);\n"
+               "sysbench oltp and cpu stay clearly below the 0.8 threshold.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 7 — The CUBIC cap-recovery function and its three regions.
+//
+// A controller with the paper's parameters (beta = 0.8, gamma = 0.005) is
+// driven through one multiplicative decrease and then left uncontended; the
+// printed trajectory shows the initial-growth region (steep), the plateau
+// around C_max, and the probing region (steep again).
+#include <iostream>
+
+#include "core/cubic.hpp"
+#include "exp/report.hpp"
+
+using namespace perfcloud;
+
+int main() {
+  core::PerfCloudConfig cfg;
+  cfg.cap_lift_fraction = 2.0;  // keep probing visible a bit longer
+  core::CubicController ctrl(cfg, /*baseline=*/1.0);
+
+  exp::print_banner(std::cout, "Fig 7",
+                    "CUBIC cap trajectory after one decrease (beta=0.8, gamma=0.005)");
+  exp::Table t({"interval (5 s each)", "cap (x baseline)", "region"});
+  t.add_row({"0 (decrease)", exp::fmt(ctrl.step(true), 3), "multiplicative decrease"});
+  double prev = ctrl.cap();
+  double prev_step = 0.0;
+  for (int i = 1; i <= 14 && !ctrl.lifted(); ++i) {
+    const double cap = ctrl.step(false);
+    const double step = cap - prev;
+    const char* region = "plateau";
+    if (cap < 0.9 * ctrl.cap_max()) {
+      region = "initial growth";
+    } else if (cap > 1.05 * ctrl.cap_max() && step > prev_step) {
+      region = "probing";
+    }
+    t.add_row({std::to_string(i), exp::fmt(cap, 3), region});
+    prev = cap;
+    prev_step = step;
+  }
+  t.print(std::cout);
+  std::cout << "\nK = cbrt(beta*C_max/gamma) = ~5.4 intervals: the curve regains the\n"
+               "pre-decrease cap after ~27 s and probes aggressively afterwards.\n";
+  return 0;
+}

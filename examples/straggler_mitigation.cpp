@@ -1,0 +1,87 @@
+// Straggler-mitigation shoot-out: LATE vs Dolly vs PerfCloud on the same
+// contended multi-host cluster.
+//
+// A 30-worker / 3-host cluster runs a batch of MapReduce and Spark jobs
+// while antagonists occupy one host. Application-level mitigations (LATE's
+// speculative copies, Dolly's job clones) pay for straggler tolerance with
+// duplicated work; PerfCloud instead removes the interference at its source.
+// The example prints mean job completion time and the utilization-efficiency
+// cost of each approach.
+//
+//   $ ./straggler_mitigation
+#include <iostream>
+#include <memory>
+
+#include "baselines/dolly.hpp"
+#include "baselines/late.hpp"
+#include "baselines/scheme.hpp"
+#include "exp/cluster.hpp"
+#include "exp/report.hpp"
+#include "workloads/benchmarks.hpp"
+
+using namespace perfcloud;
+
+namespace {
+
+struct Result {
+  double mean_jct = 0.0;
+  double efficiency = 1.0;
+};
+
+Result run(base::Scheme scheme) {
+  exp::ClusterParams params;
+  params.hosts = 3;
+  params.workers = 30;
+  params.seed = 7;
+  exp::Cluster c = exp::make_cluster(params);
+
+  // Antagonists camp on host-1.
+  exp::add_fio(c, "host-1", wl::FioRandomRead::Params{.start_s = 10.0});
+  exp::add_stream(c, "host-1", wl::StreamBenchmark::Params{.threads = 16, .start_s = 10.0});
+
+  if (scheme == base::Scheme::kLate) {
+    c.framework->set_speculator(
+        std::make_unique<base::LateSpeculator>(base::LateSpeculator::Params{}, 60));
+  }
+  if (scheme == base::Scheme::kPerfCloud) {
+    exp::enable_perfcloud(c, core::PerfCloudConfig{});
+  }
+
+  const std::vector<wl::JobSpec> batch = {
+      wl::make_terasort(12, 12),
+      wl::make_wordcount(12, 6),
+      wl::make_spark_logreg(12, 6),
+      wl::make_spark_pagerank(12, 4),
+  };
+
+  double total_jct = 0.0;
+  for (const wl::JobSpec& spec : batch) {
+    if (base::dolly_clones(scheme) > 1) {
+      base::DollySubmitter dolly(*c.framework, base::dolly_clones(scheme));
+      const auto ids = dolly.submit(spec);
+      exp::run_until_done(c, 36000.0);
+      total_jct += c.framework->group_jct(c.framework->find_job(ids[0])->clone_group);
+    } else {
+      total_jct += exp::run_job(c, spec);
+    }
+  }
+  return Result{total_jct / static_cast<double>(batch.size()),
+                c.framework->utilization_efficiency()};
+}
+
+}  // namespace
+
+int main() {
+  exp::Table t({"scheme", "mean JCT (s)", "utilization efficiency"});
+  for (const base::Scheme s : {base::Scheme::kDefault, base::Scheme::kLate,
+                               base::Scheme::kDolly2, base::Scheme::kDolly4,
+                               base::Scheme::kPerfCloud}) {
+    const Result r = run(s);
+    t.add_row(base::to_string(s), {r.mean_jct, r.efficiency}, 3);
+  }
+  t.print(std::cout);
+  std::cout << "\nLATE and Dolly tolerate stragglers by duplicating work (efficiency\n"
+               "< 1); PerfCloud throttles the antagonists instead, so every task\n"
+               "it runs is useful work.\n";
+  return 0;
+}

@@ -1,0 +1,44 @@
+// AIMD cap controller — ablation baseline for PerfCloud's CUBIC choice.
+//
+// Classic TCP-Reno-style control: additive increase of the cap while the
+// deviation signal is quiet, multiplicative decrease when it exceeds the
+// threshold. The paper argues CUBIC's plateau gives better stability around
+// the last known-bad operating point; `bench/ablation_controller` measures
+// the difference.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace perfcloud::base {
+
+class AimdController {
+ public:
+  struct Params {
+    double beta = 0.8;            ///< Decrease: C <- (1 - beta) C (as in Eq. 1).
+    double alpha = 0.08;          ///< Additive increase per interval (x baseline).
+    double min_cap_fraction = 0.05;
+    double cap_lift_fraction = 3.0;
+  };
+
+  AimdController(Params p, double baseline) : p_(p), baseline_(baseline) {}
+
+  double step(bool contended) {
+    if (contended) {
+      cap_ = std::max((1.0 - p_.beta) * cap_, p_.min_cap_fraction);
+    } else {
+      cap_ += p_.alpha;
+    }
+    return cap_;
+  }
+
+  [[nodiscard]] double cap() const { return cap_; }
+  [[nodiscard]] double cap_absolute() const { return cap_ * baseline_; }
+  [[nodiscard]] bool lifted() const { return cap_ >= p_.cap_lift_fraction; }
+
+ private:
+  Params p_;
+  double baseline_;
+  double cap_ = 1.0;
+};
+
+}  // namespace perfcloud::base

@@ -1,0 +1,34 @@
+// Dolly job-level cloning (Ananthanarayanan et al., NSDI 2013) — the
+// paper's second comparison baseline (§IV-C).
+//
+// Dolly avoids waiting and speculation altogether: each job is submitted as
+// n full clones; the first clone to complete supplies the result and the
+// others are killed. The paper uses Dolly's job-level cloning (not the
+// finer-grained task-level variant) with n in {2, 4, 6}.
+#pragma once
+
+#include <vector>
+
+#include "workloads/framework.hpp"
+
+namespace perfcloud::base {
+
+class DollySubmitter {
+ public:
+  DollySubmitter(wl::ScaleOutFramework& framework, int clones)
+      : framework_(framework), clones_(clones) {}
+
+  /// Submit `spec` as a clone group; returns the ids of all clones (the
+  /// framework kills the losers automatically when the first completes).
+  std::vector<wl::JobId> submit(const wl::JobSpec& spec) {
+    return framework_.submit_cloned(spec, clones_);
+  }
+
+  [[nodiscard]] int clones() const { return clones_; }
+
+ private:
+  wl::ScaleOutFramework& framework_;
+  int clones_;
+};
+
+}  // namespace perfcloud::base

@@ -1,0 +1,75 @@
+#include "baselines/late.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/stats.hpp"
+
+namespace perfcloud::base {
+
+std::vector<wl::TaskRef> LateSpeculator::pick(const std::vector<const wl::Job*>& running_jobs,
+                                              sim::SimTime now, int free_slots) {
+  struct Candidate {
+    wl::TaskRef ref;
+    double est_time_left = 0.0;
+    double rate = 0.0;
+  };
+
+  std::vector<Candidate> candidates;
+  std::vector<double> rates;  // of all mature running attempts, for the threshold
+  int speculating = 0;
+
+  for (const wl::Job* job : running_jobs) {
+    if (job->current_stage() >= job->stage_count()) continue;
+    const auto& tasks = job->stage(job->current_stage());
+    for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+      const wl::TaskState& t = tasks[ti];
+      if (t.completed) continue;
+      bool has_copy = false;
+      const wl::AttemptRecord* original = nullptr;
+      for (const wl::AttemptRecord& a : t.attempts) {
+        if (!a.running) continue;
+        if (a.speculative) {
+          has_copy = true;
+          ++speculating;
+        } else {
+          original = &a;
+        }
+      }
+      if (original == nullptr) continue;
+      const double age = now - original->start;
+      if (age < p_.min_runtime_s) continue;
+      const double rate = original->attempt->progress_rate(now);
+      rates.push_back(rate);
+      if (has_copy || rate <= 0.0) continue;
+      candidates.push_back(Candidate{
+          wl::TaskRef{job->id(), job->current_stage(), ti},
+          (1.0 - original->attempt->progress()) / rate,
+          rate,
+      });
+    }
+  }
+  if (candidates.empty() || rates.empty()) return {};
+
+  // SlowTaskThreshold: only tasks below the p-th percentile progress rate.
+  const double slow_threshold = sim::percentile_of(rates, p_.slow_task_percentile);
+  std::erase_if(candidates, [&](const Candidate& c) { return c.rate > slow_threshold; });
+
+  // SpeculativeCap: bound concurrent speculative attempts cluster-wide.
+  const int cap = static_cast<int>(std::floor(p_.speculative_cap * total_slots_));
+  int budget = std::min(free_slots, std::max(0, cap - speculating));
+  if (budget <= 0) return {};
+
+  // Longest estimated time-to-finish first.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) { return a.est_time_left > b.est_time_left; });
+
+  std::vector<wl::TaskRef> picks;
+  for (const Candidate& c : candidates) {
+    if (budget-- <= 0) break;
+    picks.push_back(c.ref);
+  }
+  return picks;
+}
+
+}  // namespace perfcloud::base

@@ -1,0 +1,32 @@
+// LATE speculative scheduler (Zaharia et al., OSDI 2008) — the paper's first
+// comparison baseline (§IV-C).
+//
+// LATE estimates each running task's time-to-finish from its progress rate
+// and speculatively re-executes the ones expected to finish farthest in the
+// future, provided their progress rate is below the SlowTaskThreshold
+// percentile, limited by a speculative-slot cap.
+#pragma once
+
+#include "workloads/framework.hpp"
+
+namespace perfcloud::base {
+
+class LateSpeculator : public wl::Speculator {
+ public:
+  struct Params {
+    double speculative_cap = 0.10;  ///< Max fraction of cluster slots on copies.
+    double slow_task_percentile = 0.25;
+    double min_runtime_s = 10.0;    ///< Don't judge tasks younger than this.
+  };
+
+  LateSpeculator(Params p, int total_slots) : p_(p), total_slots_(total_slots) {}
+
+  [[nodiscard]] std::vector<wl::TaskRef> pick(const std::vector<const wl::Job*>& running_jobs,
+                                              sim::SimTime now, int free_slots) override;
+
+ private:
+  Params p_;
+  int total_slots_;
+};
+
+}  // namespace perfcloud::base

@@ -1,0 +1,41 @@
+// Enumeration of the isolation/mitigation schemes compared in the paper's
+// evaluation, plus helpers shared by the experiment harness.
+#pragma once
+
+#include <string>
+
+namespace perfcloud::base {
+
+enum class Scheme {
+  kDefault,    ///< No mitigation at all.
+  kStatic,     ///< Operator-set fixed 20 % caps on known antagonists.
+  kLate,       ///< LATE speculative execution.
+  kDolly2,     ///< Dolly with 2 clones.
+  kDolly4,
+  kDolly6,
+  kPerfCloud,  ///< This paper.
+};
+
+[[nodiscard]] inline std::string to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kDefault: return "default";
+    case Scheme::kStatic: return "static-cap";
+    case Scheme::kLate: return "LATE";
+    case Scheme::kDolly2: return "Dolly-2";
+    case Scheme::kDolly4: return "Dolly-4";
+    case Scheme::kDolly6: return "Dolly-6";
+    case Scheme::kPerfCloud: return "PerfCloud";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline int dolly_clones(Scheme s) {
+  switch (s) {
+    case Scheme::kDolly2: return 2;
+    case Scheme::kDolly4: return 4;
+    case Scheme::kDolly6: return 6;
+    default: return 1;
+  }
+}
+
+}  // namespace perfcloud::base

@@ -1,0 +1,29 @@
+// Static resource-capping baseline (§IV-B, Fig 9c): a fixed 20 % I/O cap on
+// the fio VM and a fixed 20 % CPU cap on the STREAM VM, applied up front by
+// an operator who already knows who the antagonists are. It matches
+// PerfCloud's isolation quality but permanently starves the antagonists —
+// the contrast the paper draws in Fig 9/10.
+#pragma once
+
+#include "cloud/cloud_manager.hpp"
+
+namespace perfcloud::base {
+
+struct StaticCap {
+  int vm_id = 0;
+  /// Absolute caps; use hw::kNoCap to leave a dimension unrestricted.
+  double io_bytes_per_sec = hw::kNoCap;
+  double cpu_cores = hw::kNoCap;
+};
+
+/// Apply fixed caps immediately and leave them in place forever.
+inline void apply_static_caps(cloud::CloudManager& cloud, const std::string& host,
+                              const std::vector<StaticCap>& caps) {
+  virt::Hypervisor& hv = cloud.host(host);
+  for (const StaticCap& c : caps) {
+    if (c.io_bytes_per_sec != hw::kNoCap) hv.set_blkio_throttle(c.vm_id, c.io_bytes_per_sec);
+    if (c.cpu_cores != hw::kNoCap) hv.set_vcpu_quota(c.vm_id, c.cpu_cores);
+  }
+}
+
+}  // namespace perfcloud::base

@@ -1,0 +1,151 @@
+#include "cloud/cloud_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace perfcloud::cloud {
+
+virt::Hypervisor& CloudManager::add_host(hw::ServerConfig cfg) {
+  if (find_host(cfg.name) != nullptr) {
+    throw std::invalid_argument("duplicate host name " + cfg.name);
+  }
+  const std::string name = cfg.name;
+  auto hv = std::make_unique<virt::Hypervisor>(
+      std::move(cfg), engine_.rng().split(std::hash<std::string>{}(name)));
+  hosts_.push_back(Host{name, std::move(hv)});
+  return *hosts_.back().hypervisor;
+}
+
+std::vector<std::string> CloudManager::host_names() const {
+  std::vector<std::string> names;
+  names.reserve(hosts_.size());
+  for (const Host& h : hosts_) names.push_back(h.name);
+  return names;
+}
+
+const CloudManager::Host* CloudManager::find_host(const std::string& name) const {
+  for (const Host& h : hosts_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+virt::Hypervisor& CloudManager::host(const std::string& name) {
+  const Host* h = find_host(name);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + name);
+  return *h->hypervisor;
+}
+
+virt::Vm& CloudManager::boot_vm(const std::string& host_name, virt::VmConfig cfg) {
+  const Host* h = find_host(host_name);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + host_name);
+  cfg.id = next_vm_id_++;
+  virt::Vm& vm = h->hypervisor->boot(cfg);
+  registry_.push_back(VmRecord{vm.id(), vm.name(), host_name, vm.priority(), vm.app_id()});
+  return vm;
+}
+
+void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
+  const Host* dst = find_host(dst_host);
+  if (dst == nullptr) throw std::invalid_argument("unknown host " + dst_host);
+  VmRecord* record = nullptr;
+  for (VmRecord& r : registry_) {
+    if (r.id == vm_id) {
+      record = &r;
+      break;
+    }
+  }
+  if (record == nullptr) {
+    throw std::invalid_argument("unknown VM id " + std::to_string(vm_id));
+  }
+  if (record->host == dst_host) return;
+  const Host* src = find_host(record->host);
+  dst->hypervisor->adopt(src->hypervisor->evict(vm_id));
+  record->host = dst_host;
+}
+
+int CloudManager::resolve_high_priority_collision(const std::string& host_name) {
+  // Group the host's high-priority VMs by application.
+  std::map<std::string, std::vector<int>> groups;
+  for (const VmRecord& r : vms_on_host(host_name)) {
+    if (r.priority == virt::Priority::kHigh && !r.app_id.empty()) {
+      groups[r.app_id].push_back(r.id);
+    }
+  }
+  if (groups.size() < 2) return 0;
+
+  // Move the smallest group: fewest VMs to copy, least disruption.
+  const auto smallest =
+      std::min_element(groups.begin(), groups.end(), [](const auto& a, const auto& b) {
+        return a.second.size() < b.second.size();
+      });
+  const std::string& moving_app = smallest->first;
+
+  // Conflict of a host for this app: high-priority VMs of *other* apps there.
+  const auto conflict = [&](const std::string& h) {
+    std::size_t n = 0;
+    for (const VmRecord& r : vms_on_host(h)) {
+      if (r.priority == virt::Priority::kHigh && !r.app_id.empty() && r.app_id != moving_app) ++n;
+    }
+    return n;
+  };
+  const std::size_t here = conflict(host_name);
+
+  int moved = 0;
+  for (const int vm_id : smallest->second) {
+    // Destination with the fewest conflicting high-priority VMs (ties by
+    // total population). Only move on strict improvement — otherwise two
+    // node managers would ping-pong the VM between equally-bad hosts.
+    std::string best_host;
+    std::size_t best_conflict = here;
+    std::size_t best_count = std::numeric_limits<std::size_t>::max();
+    for (const Host& h : hosts_) {
+      if (h.name == host_name) continue;
+      const std::size_t c = conflict(h.name);
+      const std::size_t count = vms_on_host(h.name).size();
+      if (c < best_conflict || (c == best_conflict && !best_host.empty() && count < best_count)) {
+        best_conflict = c;
+        best_count = count;
+        best_host = h.name;
+      }
+    }
+    if (best_host.empty()) break;  // no strictly better placement exists
+    migrate_vm(vm_id, best_host);
+    ++moved;
+  }
+  return moved;
+}
+
+std::vector<VmRecord> CloudManager::vms_on_host(const std::string& host_name) const {
+  std::vector<VmRecord> out;
+  for (const VmRecord& r : registry_) {
+    if (r.host == host_name) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<VmRecord> CloudManager::all_vms() const { return registry_; }
+
+std::vector<std::string> CloudManager::hosts_of_app(const std::string& app_id) const {
+  std::vector<std::string> out;
+  for (const VmRecord& r : registry_) {
+    if (r.app_id == app_id && std::find(out.begin(), out.end(), r.host) == out.end()) {
+      out.push_back(r.host);
+    }
+  }
+  return out;
+}
+
+void CloudManager::start_ticking(double dt) {
+  if (tick_dt_ > 0.0) throw std::logic_error("start_ticking called twice");
+  if (dt <= 0.0) throw std::invalid_argument("tick dt must be positive");
+  tick_dt_ = dt;
+  for (Host& h : hosts_) {
+    virt::Hypervisor* hv = h.hypervisor.get();
+    engine_.every(dt, [hv, dt](sim::SimTime now) { hv->tick(now, dt); }, sim::SimTime(dt));
+  }
+}
+
+}  // namespace perfcloud::cloud

@@ -1,0 +1,88 @@
+// Cloud manager: the OpenStack-Nova-like registry the node managers query.
+//
+// Owns the physical hosts (hypervisors) and knows, for every VM: its host,
+// its priority, and which high-priority application it belongs to. This is
+// the information Algorithm 1 fetches each control interval so that node
+// managers stay aware of placement changes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "virt/hypervisor.hpp"
+
+namespace perfcloud::cloud {
+
+/// What the Nova-like API reports about one VM.
+struct VmRecord {
+  int id = 0;
+  std::string name;
+  std::string host;
+  virt::Priority priority = virt::Priority::kLow;
+  std::string app_id;
+};
+
+class CloudManager {
+ public:
+  explicit CloudManager(sim::Engine& engine) : engine_(engine) {}
+
+  CloudManager(const CloudManager&) = delete;
+  CloudManager& operator=(const CloudManager&) = delete;
+
+  /// Provision a physical host. Host names must be unique.
+  virt::Hypervisor& add_host(hw::ServerConfig cfg);
+
+  [[nodiscard]] std::vector<std::string> host_names() const;
+  [[nodiscard]] virt::Hypervisor& host(const std::string& name);
+  [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
+
+  /// Boot a VM on the named host; VM ids are assigned by the manager.
+  virt::Vm& boot_vm(const std::string& host_name, virt::VmConfig cfg);
+
+  /// Live-migrate a VM to another host (§IV-D: the cloud manager's
+  /// complementary remedy when node managers report problems they cannot
+  /// solve locally, e.g. two high-priority applications colocated). The
+  /// VM's cgroup state and guest workload move with it. Throws on unknown
+  /// VM or host; migrating to the current host is a no-op.
+  void migrate_vm(int vm_id, const std::string& dst_host);
+
+  /// Node-manager escalation (§IV-D): called when a host has more than one
+  /// high-priority application. The manager moves the smaller application
+  /// group's VMs on that host to the least-populated other hosts. Returns
+  /// the number of VMs moved (0 when there is nowhere to move them or no
+  /// collision exists).
+  int resolve_high_priority_collision(const std::string& host_name);
+
+  // --- Nova-like queries (what the node manager fetches, §III-D.2) ---
+  [[nodiscard]] std::vector<VmRecord> vms_on_host(const std::string& host_name) const;
+  /// All registered VMs across the cloud.
+  [[nodiscard]] std::vector<VmRecord> all_vms() const;
+  /// Hosts that currently run at least one VM of the given application.
+  [[nodiscard]] std::vector<std::string> hosts_of_app(const std::string& app_id) const;
+
+  /// Register every host's arbitration tick with the engine. Call once,
+  /// after all hosts exist and before running. `dt` is the tick length.
+  void start_ticking(double dt);
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] double tick_dt() const { return tick_dt_; }
+
+ private:
+  struct Host {
+    std::string name;
+    std::unique_ptr<virt::Hypervisor> hypervisor;
+  };
+
+  [[nodiscard]] const Host* find_host(const std::string& name) const;
+
+  sim::Engine& engine_;
+  std::vector<Host> hosts_;
+  std::vector<VmRecord> registry_;
+  int next_vm_id_ = 1;
+  double tick_dt_ = 0.0;
+};
+
+}  // namespace perfcloud::cloud

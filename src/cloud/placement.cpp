@@ -1,0 +1,59 @@
+#include "cloud/placement.hpp"
+
+#include <stdexcept>
+
+namespace perfcloud::cloud {
+
+std::vector<int> place_spread(CloudManager& cloud, const std::vector<std::string>& hosts,
+                              int count, virt::VmConfig shape, const std::string& app_id) {
+  if (hosts.empty()) throw std::invalid_argument("place_spread: no hosts");
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    virt::VmConfig cfg = shape;
+    cfg.app_id = app_id;
+    cfg.name = app_id + "-" + std::to_string(i);
+    const virt::Vm& vm = cloud.boot_vm(hosts[static_cast<std::size_t>(i) % hosts.size()], cfg);
+    ids.push_back(vm.id());
+  }
+  return ids;
+}
+
+std::vector<int> place_random(CloudManager& cloud, const std::vector<std::string>& hosts,
+                              int count, virt::VmConfig shape, const std::string& name_prefix,
+                              sim::Rng& rng) {
+  if (hosts.empty()) throw std::invalid_argument("place_random: no hosts");
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    virt::VmConfig cfg = shape;
+    cfg.name = name_prefix + "-" + std::to_string(i);
+    const auto idx =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(hosts.size()) - 1));
+    const virt::Vm& vm = cloud.boot_vm(hosts[idx], cfg);
+    ids.push_back(vm.id());
+  }
+  return ids;
+}
+
+std::vector<int> place_packed(CloudManager& cloud, const std::vector<std::string>& hosts,
+                              int count, int per_host, virt::VmConfig shape,
+                              const std::string& app_id) {
+  if (hosts.empty()) throw std::invalid_argument("place_packed: no hosts");
+  if (per_host <= 0) throw std::invalid_argument("place_packed: per_host must be positive");
+  if (count > per_host * static_cast<int>(hosts.size())) {
+    throw std::invalid_argument("place_packed: not enough host capacity");
+  }
+  std::vector<int> ids;
+  ids.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    virt::VmConfig cfg = shape;
+    cfg.app_id = app_id;
+    cfg.name = app_id + "-" + std::to_string(i);
+    const virt::Vm& vm = cloud.boot_vm(hosts[static_cast<std::size_t>(i / per_host)], cfg);
+    ids.push_back(vm.id());
+  }
+  return ids;
+}
+
+}  // namespace perfcloud::cloud

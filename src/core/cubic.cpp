@@ -1,0 +1,29 @@
+#include "core/cubic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perfcloud::core {
+
+CubicController::CubicController(const PerfCloudConfig& cfg, double baseline)
+    : cfg_(cfg), baseline_(baseline) {}
+
+double CubicController::step(bool contended) {
+  if (contended) {
+    cap_max_ = cap_;
+    cap_ = std::max((1.0 - cfg_.beta) * cap_, cfg_.min_cap_fraction);
+    t_ = 0;
+    ever_decreased_ = true;
+  } else {
+    ++t_;
+    const double k = std::cbrt(cfg_.beta * cap_max_ / cfg_.gamma);
+    const double t = static_cast<double>(t_);
+    const double cubic = cfg_.gamma * (t - k) * (t - k) * (t - k) + cap_max_;
+    // The cubic is the *target*; the cap never moves backwards during
+    // recovery (the curve starts below the post-decrease cap for small T).
+    cap_ = std::max(cap_, cubic);
+  }
+  return cap_;
+}
+
+}  // namespace perfcloud::core

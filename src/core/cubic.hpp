@@ -1,0 +1,51 @@
+// CUBIC-congestion-control-inspired resource-cap controller (Eq. 1, §III-C).
+//
+// Caps are normalized: 1.0 means the antagonist's observed baseline usage at
+// initialization. While the victim's deviation signal exceeds its threshold
+// the cap shrinks multiplicatively by (1 - beta); otherwise it recovers
+// along the cubic  C(T) = gamma * (T - K)^3 + C_max,  K = cbrt(beta*C_max/gamma),
+// which yields the paper's three regions: fast initial growth toward C_max,
+// a conservative plateau around it, and aggressive probing beyond it.
+#pragma once
+
+#include "core/config.hpp"
+
+namespace perfcloud::core {
+
+class CubicController {
+ public:
+  /// `baseline` is the observed resource usage (bytes/s or cores) of the
+  /// antagonist at controller creation; the initial cap equals it (§III-C:
+  /// "initialized to be equal to the VM's observed CPU usage or I/O
+  /// throughput").
+  CubicController(const PerfCloudConfig& cfg, double baseline);
+
+  /// Advance one control interval. `contended` is I(t) > H for the resource
+  /// this controller owns. Returns the new normalized cap.
+  double step(bool contended);
+
+  /// Normalized cap (1.0 = baseline usage).
+  [[nodiscard]] double cap() const { return cap_; }
+  /// Cap in native units (cap() * baseline).
+  [[nodiscard]] double cap_absolute() const { return cap_ * baseline_; }
+  [[nodiscard]] double baseline() const { return baseline_; }
+  /// Cap level at the last multiplicative decrease (C_max in Eq. 1).
+  [[nodiscard]] double cap_max() const { return cap_max_; }
+  /// Intervals since the last decrease (T_i in Eq. 1).
+  [[nodiscard]] int intervals_since_decrease() const { return t_; }
+  /// True once recovery grew the cap past the lift threshold: the throttle
+  /// should be removed and the controller retired.
+  [[nodiscard]] bool lifted() const { return cap_ >= cfg_.cap_lift_fraction; }
+  /// True if the controller ever throttled (at least one decrease).
+  [[nodiscard]] bool ever_decreased() const { return ever_decreased_; }
+
+ private:
+  PerfCloudConfig cfg_;
+  double baseline_;
+  double cap_ = 1.0;
+  double cap_max_ = 1.0;
+  int t_ = 0;
+  bool ever_decreased_ = false;
+};
+
+}  // namespace perfcloud::core

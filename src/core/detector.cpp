@@ -1,0 +1,27 @@
+#include "core/detector.hpp"
+
+#include "sim/stats.hpp"
+
+namespace perfcloud::core {
+
+DetectionResult InterferenceDetector::evaluate(std::span<const VmSample* const> app_vms) const {
+  std::vector<double> ratios;
+  std::vector<double> cpis;
+  ratios.reserve(app_vms.size());
+  cpis.reserve(app_vms.size());
+  for (const VmSample* s : app_vms) {
+    if (s == nullptr) continue;
+    if (s->iowait_ratio_ms) ratios.push_back(*s->iowait_ratio_ms);
+    if (s->cpi) cpis.push_back(*s->cpi);
+  }
+  DetectionResult r;
+  r.io_samples = ratios.size();
+  r.cpi_samples = cpis.size();
+  r.io_deviation = sim::stddev_of(ratios);
+  r.cpi_deviation = sim::stddev_of(cpis);
+  r.io_contended = r.io_deviation > cfg_.io_deviation_threshold;
+  r.cpu_contended = r.cpi_deviation > cfg_.cpi_deviation_threshold;
+  return r;
+}
+
+}  // namespace perfcloud::core

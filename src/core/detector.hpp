@@ -1,0 +1,37 @@
+// Interference detector: turns per-VM samples into the paper's two
+// deviation signals and threshold decisions (§III-A).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/monitor.hpp"
+
+namespace perfcloud::core {
+
+/// One application group's deviation signals at one sample time.
+struct DetectionResult {
+  double io_deviation = 0.0;   ///< Std-dev of blkio iowait ratio (ms/op).
+  double cpi_deviation = 0.0;  ///< Std-dev of CPI.
+  bool io_contended = false;   ///< io_deviation > H_io.
+  bool cpu_contended = false;  ///< cpi_deviation > H_cpi.
+  std::size_t io_samples = 0;  ///< VMs that contributed an iowait sample.
+  std::size_t cpi_samples = 0;
+};
+
+class InterferenceDetector {
+ public:
+  explicit InterferenceDetector(PerfCloudConfig cfg) : cfg_(cfg) {}
+
+  /// Evaluate the deviation signals over the given application VMs' latest
+  /// samples. VMs with missing metrics (idle during the interval) do not
+  /// contribute: an idle VM carries no evidence about contention.
+  [[nodiscard]] DetectionResult evaluate(std::span<const VmSample* const> app_vms) const;
+
+ private:
+  PerfCloudConfig cfg_;
+};
+
+}  // namespace perfcloud::core

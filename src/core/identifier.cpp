@@ -1,0 +1,42 @@
+#include "core/identifier.hpp"
+
+#include <cmath>
+
+#include "sim/correlation.hpp"
+
+namespace perfcloud::core {
+
+std::vector<SuspectScore> AntagonistIdentifier::score(
+    const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects) const {
+  std::vector<SuspectScore> out;
+  if (victim_signal.size() < cfg_.min_correlation_samples) return out;
+  out.reserve(suspects.size());
+
+  std::vector<double> usage(suspects.size(), 0.0);
+  double max_usage = 0.0;
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    if (suspects[i].series != nullptr) {
+      usage[i] = sim::windowed_mean_missing_as_zero(victim_signal, *suspects[i].series,
+                                                    cfg_.correlation_window);
+    }
+    max_usage = std::max(max_usage, usage[i]);
+  }
+
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    const SuspectSignal& s = suspects[i];
+    SuspectScore score;
+    score.vm_id = s.vm_id;
+    if (s.series != nullptr) {
+      score.correlation =
+          sim::pearson_missing_as_zero(victim_signal, *s.series, cfg_.correlation_window);
+    }
+    const double evidence =
+        cfg_.use_absolute_correlation ? std::abs(score.correlation) : score.correlation;
+    const bool heavy_enough = usage[i] >= cfg_.min_usage_fraction * max_usage;
+    score.antagonist = evidence >= cfg_.correlation_threshold && heavy_enough;
+    out.push_back(score);
+  }
+  return out;
+}
+
+}  // namespace perfcloud::core

@@ -1,0 +1,42 @@
+// Antagonist identification by online cross-correlation (§III-B).
+//
+// A colocated low-priority VM is an antagonist for a resource when the
+// Pearson correlation between the victim application's deviation signal and
+// the suspect's resource-usage signal (I/O throughput for disk, LLC miss
+// rate for processor resources) reaches the threshold. Suspect samples
+// missing at some victim sample times are treated as zero.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/time_series.hpp"
+
+namespace perfcloud::core {
+
+struct SuspectSignal {
+  int vm_id = 0;
+  const sim::TimeSeries* series = nullptr;
+};
+
+struct SuspectScore {
+  int vm_id = 0;
+  double correlation = 0.0;
+  bool antagonist = false;
+};
+
+class AntagonistIdentifier {
+ public:
+  explicit AntagonistIdentifier(PerfCloudConfig cfg) : cfg_(cfg) {}
+
+  /// Score every suspect against the victim deviation signal. Returns an
+  /// empty vector until the victim signal has the configured minimum number
+  /// of samples (Fig 5c: three suffice).
+  [[nodiscard]] std::vector<SuspectScore> score(const sim::TimeSeries& victim_signal,
+                                                const std::vector<SuspectSignal>& suspects) const;
+
+ private:
+  PerfCloudConfig cfg_;
+};
+
+}  // namespace perfcloud::core

@@ -1,0 +1,94 @@
+#include "core/monitor.hpp"
+
+namespace perfcloud::core {
+
+const sim::TimeSeries PerformanceMonitor::kEmptySeries{};
+
+PerformanceMonitor::PerVm& PerformanceMonitor::state(int vm_id) {
+  auto it = vms_.find(vm_id);
+  if (it == vms_.end()) {
+    it = vms_.try_emplace(vm_id).first;
+    it->second.iowait_ratio = sim::Ewma(cfg_.ewma_alpha);
+    it->second.cpi = sim::Ewma(cfg_.ewma_alpha);
+    it->second.io_bps = sim::Ewma(cfg_.ewma_alpha);
+    it->second.llc_rate = sim::Ewma(cfg_.ewma_alpha);
+    it->second.cpu_cores = sim::Ewma(cfg_.ewma_alpha);
+  }
+  return it->second;
+}
+
+void PerformanceMonitor::sample(sim::SimTime now) {
+  const double dt = cfg_.sample_interval_s;
+  for (const auto& vm : hv_.vms()) {
+    PerVm& s = state(vm->id());
+    const virt::CgroupStats& cur = vm->cgroup().stats();
+    if (!s.has_prev) {
+      s.prev = cur;
+      s.has_prev = true;
+      continue;
+    }
+    const double d_wait_ms = cur.io_wait_time_ms - s.prev.io_wait_time_ms;
+    const double d_ops = cur.io_serviced_ops - s.prev.io_serviced_ops;
+    const double d_bytes = cur.io_service_bytes - s.prev.io_service_bytes;
+    const double d_cycles = cur.cycles - s.prev.cycles;
+    const double d_instr = cur.instructions - s.prev.instructions;
+    const double d_misses = cur.llc_misses - s.prev.llc_misses;
+    const double d_cpu = cur.cpu_time_s - s.prev.cpu_time_s;
+    s.prev = cur;
+
+    // The first EWMA update of a metric is the raw sample — one noisy
+    // interval would masquerade as a trend. Deviations are only meaningful
+    // once every contributing VM's smoother is warmed, so a metric is
+    // reported from its second update onward.
+    VmSample sample;
+    if (d_ops >= cfg_.min_ops_per_interval) {
+      const double v = s.iowait_ratio.update(d_wait_ms / d_ops);
+      if (++s.iowait_updates >= 2) sample.iowait_ratio_ms = v;
+    }
+    if (d_instr > 0.0) {
+      const double v = s.cpi.update(d_cycles / d_instr);
+      if (++s.cpi_updates >= 2) sample.cpi = v;
+    }
+    sample.io_throughput_bps = s.io_bps.update(d_bytes / dt);
+    sample.io_ops_per_s = d_ops / dt;
+    sample.cpu_usage_cores = s.cpu_cores.update(d_cpu / dt);
+    // "LLC miss rates are not counted when the VM is not running any
+    // workload" (§III-B): a sample exists only when the VM burned CPU.
+    if (d_cpu > 0.05 * dt) {
+      sample.llc_miss_rate = s.llc_rate.update(d_misses / dt);
+      s.llc_series.add(now, *sample.llc_miss_rate);
+    }
+    s.io_series.add(now, sample.io_throughput_bps);
+
+    s.latest = sample;
+    s.has_latest = true;
+  }
+}
+
+const VmSample* PerformanceMonitor::latest(int vm_id) const {
+  const auto it = vms_.find(vm_id);
+  if (it == vms_.end() || !it->second.has_latest) return nullptr;
+  return &it->second.latest;
+}
+
+const sim::TimeSeries& PerformanceMonitor::io_throughput_series(int vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? kEmptySeries : it->second.io_series;
+}
+
+const sim::TimeSeries& PerformanceMonitor::llc_miss_series(int vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? kEmptySeries : it->second.llc_series;
+}
+
+double PerformanceMonitor::observed_io_bps(int vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? 0.0 : it->second.io_bps.value();
+}
+
+double PerformanceMonitor::observed_cpu_cores(int vm_id) const {
+  const auto it = vms_.find(vm_id);
+  return it == vms_.end() ? 0.0 : it->second.cpu_cores.value();
+}
+
+}  // namespace perfcloud::core

@@ -1,0 +1,81 @@
+// Performance monitor: the per-host metric collection half of PerfCloud
+// (§III-D.1).
+//
+// Every sampling interval it reads each resident VM's cumulative cgroup
+// counters through the hypervisor (as the real system does via libvirt and
+// perf_event), computes interval deltas, smooths them with an EWMA, and
+// appends them to per-VM time series:
+//   - high-priority VMs: block-iowait ratio (ms/op) and CPI;
+//   - low-priority VMs: I/O throughput (bytes/s), LLC miss rate (misses/s),
+//     and CPU usage (cores) — the suspect-side signals and the baselines
+//     used to initialize resource caps.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "sim/ewma.hpp"
+#include "sim/time_series.hpp"
+#include "virt/hypervisor.hpp"
+
+namespace perfcloud::core {
+
+/// The smoothed interval metrics of one VM at one sample time.
+struct VmSample {
+  std::optional<double> iowait_ratio_ms;  ///< Missing when the VM did ~no I/O.
+  std::optional<double> cpi;              ///< Missing when no instructions retired.
+  double io_throughput_bps = 0.0;
+  double io_ops_per_s = 0.0;
+  std::optional<double> llc_miss_rate;    ///< Missing when the VM ran nothing.
+  double cpu_usage_cores = 0.0;
+};
+
+class PerformanceMonitor {
+ public:
+  PerformanceMonitor(virt::Hypervisor& hv, PerfCloudConfig cfg)
+      : hv_(hv), cfg_(cfg) {}
+
+  /// Take one sample of every resident VM at time `now`. Call exactly once
+  /// per interval, after the host's arbitration tick.
+  void sample(sim::SimTime now);
+
+  /// Latest sample of a VM; nullptr before the first sample.
+  [[nodiscard]] const VmSample* latest(int vm_id) const;
+
+  /// Suspect-side series used by the antagonist identifier.
+  [[nodiscard]] const sim::TimeSeries& io_throughput_series(int vm_id) const;
+  [[nodiscard]] const sim::TimeSeries& llc_miss_series(int vm_id) const;
+
+  /// Observation baselines for cap initialization ("the VM's observed CPU
+  /// usage or I/O throughput", §III-C); smoothed current values.
+  [[nodiscard]] double observed_io_bps(int vm_id) const;
+  [[nodiscard]] double observed_cpu_cores(int vm_id) const;
+
+ private:
+  struct PerVm {
+    virt::CgroupStats prev;
+    bool has_prev = false;
+    int iowait_updates = 0;
+    int cpi_updates = 0;
+    sim::Ewma iowait_ratio;
+    sim::Ewma cpi;
+    sim::Ewma io_bps;
+    sim::Ewma llc_rate;
+    sim::Ewma cpu_cores;
+    VmSample latest;
+    bool has_latest = false;
+    sim::TimeSeries io_series;
+    sim::TimeSeries llc_series;
+  };
+
+  PerVm& state(int vm_id);
+
+  virt::Hypervisor& hv_;
+  PerfCloudConfig cfg_;
+  std::map<int, PerVm> vms_;
+  static const sim::TimeSeries kEmptySeries;
+};
+
+}  // namespace perfcloud::core

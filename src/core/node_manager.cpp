@@ -1,0 +1,185 @@
+#include "core/node_manager.hpp"
+
+#include <algorithm>
+
+namespace perfcloud::core {
+
+const sim::TimeSeries NodeManager::kEmptySeries{};
+
+namespace {
+constexpr double kMinIoBaselineBps = 1.0e6;   // never throttle below-noise usage to zero
+constexpr double kMinCpuBaselineCores = 0.2;
+}  // namespace
+
+NodeManager::NodeManager(cloud::CloudManager& cloud, std::string host_name, PerfCloudConfig cfg)
+    : cloud_(cloud),
+      host_(std::move(host_name)),
+      cfg_(cfg),
+      monitor_(cloud.host(host_), cfg),
+      detector_(cfg),
+      identifier_(cfg) {}
+
+void NodeManager::start() {
+  if (started_) return;
+  started_ = true;
+  cloud_.engine().every(cfg_.sample_interval_s,
+                        [this](sim::SimTime now) { control_step(now); },
+                        sim::SimTime(cfg_.sample_interval_s));
+}
+
+sim::TimeSeries& NodeManager::signal(std::map<std::string, sim::TimeSeries>& store,
+                                     const std::string& app_id) {
+  return store.try_emplace(app_id, sim::TimeSeries(app_id)).first->second;
+}
+
+void NodeManager::control_step(sim::SimTime now) {
+  monitor_.sample(now);
+
+  // Fetch the current VM registry for this host (Nova API in the paper):
+  // placement or priority changes since the last interval are picked up here.
+  const std::vector<cloud::VmRecord> records = cloud_.vms_on_host(host_);
+
+  std::map<std::string, std::vector<int>> apps;  // high-priority app -> VM ids
+  std::vector<int> suspects;                     // low-priority VM ids
+  for (const cloud::VmRecord& r : records) {
+    if (r.priority == virt::Priority::kHigh && !r.app_id.empty()) {
+      apps[r.app_id].push_back(r.id);
+    } else if (r.priority == virt::Priority::kLow) {
+      suspects.push_back(r.id);
+    }
+  }
+
+  // §IV-D escalation: two high-priority applications on one host cannot
+  // both be protected by throttling third parties — ask the cloud manager
+  // to separate them. After the migration the next interval sees one group.
+  if (cfg_.escalate_app_collisions && apps.size() > 1) {
+    cloud_.resolve_high_priority_collision(host_);
+  }
+
+  bool any_io_contended = false;
+  bool any_cpu_contended = false;
+  std::vector<int> io_antagonists;
+  std::vector<int> cpu_antagonists;
+  io_scores_.clear();
+  cpu_scores_.clear();
+
+  for (const auto& [app_id, vm_ids] : apps) {
+    std::vector<const VmSample*> samples;
+    samples.reserve(vm_ids.size());
+    for (int id : vm_ids) samples.push_back(monitor_.latest(id));
+    const DetectionResult det = detector_.evaluate(samples);
+
+    sim::TimeSeries& io_sig = signal(io_signals_, app_id);
+    sim::TimeSeries& cpi_sig = signal(cpi_signals_, app_id);
+    io_sig.add(now, det.io_deviation);
+    cpi_sig.add(now, det.cpi_deviation);
+    any_io_contended |= det.io_contended;
+    any_cpu_contended |= det.cpu_contended;
+
+    // Correlate the victim signal with every suspect's usage signal.
+    std::vector<SuspectSignal> io_suspects;
+    std::vector<SuspectSignal> cpu_suspects;
+    for (int id : suspects) {
+      io_suspects.push_back(SuspectSignal{id, &monitor_.io_throughput_series(id)});
+      cpu_suspects.push_back(SuspectSignal{id, &monitor_.llc_miss_series(id)});
+    }
+    for (const SuspectScore& s : identifier_.score(io_sig, io_suspects)) {
+      io_scores_.push_back(s);
+      if (s.antagonist) io_identified_at_[s.vm_id] = now;
+    }
+    for (const SuspectScore& s : identifier_.score(cpi_sig, cpu_suspects)) {
+      cpu_scores_.push_back(s);
+      if (s.antagonist) cpu_identified_at_[s.vm_id] = now;
+    }
+  }
+
+  // A suspect stays identified for a while after its correlation peak: the
+  // strongest evidence appears at the antagonist's arrival, which may lead
+  // the deviation signal's threshold crossing by an interval or two.
+  const auto recently_identified = [&](const std::map<int, sim::SimTime>& ids, int vm_id) {
+    const auto it = ids.find(vm_id);
+    return it != ids.end() && now - it->second <= cfg_.identification_memory_s;
+  };
+  if (any_io_contended) {
+    for (int id : suspects) {
+      if (recently_identified(io_identified_at_, id)) io_antagonists.push_back(id);
+    }
+  }
+  if (any_cpu_contended) {
+    for (int id : suspects) {
+      if (recently_identified(cpu_identified_at_, id)) cpu_antagonists.push_back(id);
+    }
+  }
+
+  if (!control_enabled_) return;
+  run_resource_control(Resource::kIo, any_io_contended, io_antagonists, now);
+  run_resource_control(Resource::kCpu, any_cpu_contended, cpu_antagonists, now);
+}
+
+void NodeManager::run_resource_control(Resource res, bool contended,
+                                       const std::vector<int>& antagonists, sim::SimTime now) {
+  auto& controllers = res == Resource::kIo ? io_controllers_ : cpu_controllers_;
+  virt::Hypervisor& hv = cloud_.host(host_);
+
+  // Instantiate controllers for newly identified antagonists; the initial
+  // cap equals the VM's currently observed usage (Eq. 1 initialization).
+  auto& history = res == Resource::kIo ? io_cap_history_ : cpu_cap_history_;
+  for (int vm_id : antagonists) {
+    if (controllers.contains(vm_id)) continue;
+    const double baseline =
+        res == Resource::kIo
+            ? std::max(monitor_.observed_io_bps(vm_id), kMinIoBaselineBps)
+            : std::max(monitor_.observed_cpu_cores(vm_id), kMinCpuBaselineCores);
+    controllers.emplace(vm_id, std::make_unique<CubicController>(cfg_, baseline));
+    history.try_emplace(vm_id, sim::TimeSeries("cap-vm-" + std::to_string(vm_id)));
+  }
+
+  // Step every active controller. Once a VM is under control it stays
+  // under control until the cubic recovery lifts its cap: throttling often
+  // destroys the correlation that identified it (its usage signal is
+  // flattened), so membership cannot be re-derived each interval.
+  for (auto it = controllers.begin(); it != controllers.end();) {
+    const int vm_id = it->first;
+    CubicController& ctrl = *it->second;
+    ctrl.step(contended);
+    history.at(vm_id).add(now, ctrl.cap());
+
+    if (ctrl.lifted()) {
+      if (res == Resource::kIo) {
+        hv.clear_blkio_throttle(vm_id);
+      } else {
+        hv.clear_vcpu_quota(vm_id);
+      }
+      it = controllers.erase(it);
+      continue;
+    }
+    if (res == Resource::kIo) {
+      hv.set_blkio_throttle(vm_id, ctrl.cap_absolute());
+    } else {
+      hv.set_vcpu_quota(vm_id, ctrl.cap_absolute());
+    }
+    ++it;
+  }
+}
+
+const sim::TimeSeries& NodeManager::io_signal(const std::string& app_id) const {
+  const auto it = io_signals_.find(app_id);
+  return it == io_signals_.end() ? kEmptySeries : it->second;
+}
+
+const sim::TimeSeries& NodeManager::cpi_signal(const std::string& app_id) const {
+  const auto it = cpi_signals_.find(app_id);
+  return it == cpi_signals_.end() ? kEmptySeries : it->second;
+}
+
+const sim::TimeSeries& NodeManager::io_cap_series(int vm_id) const {
+  const auto it = io_cap_history_.find(vm_id);
+  return it == io_cap_history_.end() ? kEmptySeries : it->second;
+}
+
+const sim::TimeSeries& NodeManager::cpu_cap_series(int vm_id) const {
+  const auto it = cpu_cap_history_.find(vm_id);
+  return it == cpu_cap_history_.end() ? kEmptySeries : it->second;
+}
+
+}  // namespace perfcloud::core

@@ -1,0 +1,90 @@
+// Node manager: the per-host PerfCloud agent (Algorithm 1, §III-D.2).
+//
+// Every control interval it (1) fetches the host's VM records from the
+// cloud manager — priorities and application grouping, so placement changes
+// are picked up automatically; (2) samples the performance monitor;
+// (3) computes the deviation signals for each high-priority application;
+// (4) identifies antagonists by cross-correlation; and (5) runs the CUBIC
+// cap controllers and actuates CPU quotas and blkio throttles through the
+// hypervisor.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_manager.hpp"
+#include "core/config.hpp"
+#include "core/cubic.hpp"
+#include "core/detector.hpp"
+#include "core/identifier.hpp"
+#include "core/monitor.hpp"
+
+namespace perfcloud::core {
+
+class NodeManager {
+ public:
+  NodeManager(cloud::CloudManager& cloud, std::string host_name, PerfCloudConfig cfg = {});
+
+  NodeManager(const NodeManager&) = delete;
+  NodeManager& operator=(const NodeManager&) = delete;
+
+  /// Register the periodic control loop with the engine. Call after the
+  /// cloud has started ticking (the monitor must sample post-arbitration
+  /// counters).
+  void start();
+
+  /// One Algorithm-1 iteration; exposed for tests and benches.
+  void control_step(sim::SimTime now);
+
+  /// Monitoring-only mode: sample and compute signals but never actuate.
+  /// Used by the "default system" baseline and by the detection figures.
+  void set_control_enabled(bool enabled) { control_enabled_ = enabled; }
+
+  // --- Introspection for tests and figure benches ---
+  [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
+  /// Deviation-signal series of one high-priority application on this host.
+  [[nodiscard]] const sim::TimeSeries& io_signal(const std::string& app_id) const;
+  [[nodiscard]] const sim::TimeSeries& cpi_signal(const std::string& app_id) const;
+  /// Normalized-cap series of a throttled VM (1.0 = baseline usage); empty
+  /// if the VM was never throttled for that resource.
+  [[nodiscard]] const sim::TimeSeries& io_cap_series(int vm_id) const;
+  [[nodiscard]] const sim::TimeSeries& cpu_cap_series(int vm_id) const;
+  /// Latest antagonist correlation scores (per resource), for Fig 5/6.
+  [[nodiscard]] const std::vector<SuspectScore>& last_io_scores() const { return io_scores_; }
+  [[nodiscard]] const std::vector<SuspectScore>& last_cpu_scores() const { return cpu_scores_; }
+
+ private:
+  enum class Resource { kIo, kCpu };
+
+  void run_resource_control(Resource res, bool contended, const std::vector<int>& antagonists,
+                            sim::SimTime now);
+  [[nodiscard]] sim::TimeSeries& signal(std::map<std::string, sim::TimeSeries>& store,
+                                        const std::string& app_id);
+
+  cloud::CloudManager& cloud_;
+  std::string host_;
+  PerfCloudConfig cfg_;
+  PerformanceMonitor monitor_;
+  InterferenceDetector detector_;
+  AntagonistIdentifier identifier_;
+  bool control_enabled_ = true;
+  bool started_ = false;
+
+  std::map<std::string, sim::TimeSeries> io_signals_;
+  std::map<std::string, sim::TimeSeries> cpi_signals_;
+  std::map<int, std::unique_ptr<CubicController>> io_controllers_;
+  std::map<int, std::unique_ptr<CubicController>> cpu_controllers_;
+  // Most recent time each suspect's correlation crossed the threshold.
+  std::map<int, sim::SimTime> io_identified_at_;
+  std::map<int, sim::SimTime> cpu_identified_at_;
+  // Cap history persists after a controller retires (Fig 10 plots it).
+  std::map<int, sim::TimeSeries> io_cap_history_;
+  std::map<int, sim::TimeSeries> cpu_cap_history_;
+  std::vector<SuspectScore> io_scores_;
+  std::vector<SuspectScore> cpu_scores_;
+  static const sim::TimeSeries kEmptySeries;
+};
+
+}  // namespace perfcloud::core

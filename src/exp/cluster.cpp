@@ -1,0 +1,135 @@
+#include "exp/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cloud/placement.hpp"
+
+namespace perfcloud::exp {
+
+virt::Vm& Cluster::vm(int vm_id) {
+  for (const std::string& h : hosts) {
+    virt::Vm* vm = cloud->host(h).find(vm_id);
+    if (vm != nullptr) return *vm;
+  }
+  throw std::invalid_argument("unknown VM id " + std::to_string(vm_id));
+}
+
+Cluster make_cluster(const ClusterParams& params) {
+  Cluster c;
+  c.params = params;
+  c.engine = std::make_unique<sim::Engine>(params.seed);
+  c.cloud = std::make_unique<cloud::CloudManager>(*c.engine);
+
+  for (int h = 0; h < params.hosts; ++h) {
+    hw::ServerConfig cfg = params.server;
+    cfg.name = "host-" + std::to_string(h);
+    if (!params.host_speed_factors.empty()) {
+      const double f = params.host_speed_factors[static_cast<std::size_t>(h) %
+                                                 params.host_speed_factors.size()];
+      cfg.cpu.clock_hz *= f;
+    }
+    c.cloud->add_host(cfg);
+    c.hosts.push_back(cfg.name);
+  }
+
+  virt::VmConfig shape;
+  shape.vcpus = params.vm_vcpus;
+  shape.priority = virt::Priority::kHigh;
+  c.worker_vm_ids = cloud::place_spread(*c.cloud, c.hosts, params.workers, shape, params.app_id);
+
+  c.framework = std::make_unique<wl::ScaleOutFramework>(*c.engine, params.app_id);
+  for (const cloud::VmRecord& r : c.cloud->all_vms()) {
+    if (std::find(c.worker_vm_ids.begin(), c.worker_vm_ids.end(), r.id) !=
+        c.worker_vm_ids.end()) {
+      c.framework->add_worker(c.vm(r.id), r.host);
+    }
+  }
+
+  // Registration order matters at equal timestamps: arbitration ticks fire
+  // before framework scheduling, which fires before node managers.
+  c.cloud->start_ticking(params.tick_dt);
+  c.framework->start(params.sched_period);
+  return c;
+}
+
+void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool control) {
+  if (!cluster.node_managers.empty()) throw std::logic_error("PerfCloud already enabled");
+  for (const std::string& h : cluster.hosts) {
+    auto nm = std::make_unique<core::NodeManager>(*cluster.cloud, h, cfg);
+    nm->set_control_enabled(control);
+    nm->start();
+    cluster.node_managers.push_back(std::move(nm));
+  }
+}
+
+namespace {
+virt::Vm& boot_low_priority(Cluster& c, const std::string& host, const std::string& name,
+                            int vcpus) {
+  virt::VmConfig cfg;
+  cfg.name = name;
+  cfg.vcpus = vcpus;
+  cfg.priority = virt::Priority::kLow;
+  return c.cloud->boot_vm(host, cfg);
+}
+}  // namespace
+
+int add_fio(Cluster& cluster, const std::string& host, wl::FioRandomRead::Params p, int vcpus) {
+  virt::Vm& vm = boot_low_priority(cluster, host, "fio", vcpus);
+  vm.attach(std::make_unique<wl::FioRandomRead>(p));
+  return vm.id();
+}
+
+int add_stream(Cluster& cluster, const std::string& host, wl::StreamBenchmark::Params p,
+               int vcpus) {
+  if (vcpus < 0) vcpus = p.threads;
+  virt::Vm& vm = boot_low_priority(cluster, host, "stream", vcpus);
+  vm.attach(std::make_unique<wl::StreamBenchmark>(p));
+  return vm.id();
+}
+
+int add_oltp(Cluster& cluster, const std::string& host, wl::SysbenchOltp::Params p, int vcpus) {
+  virt::Vm& vm = boot_low_priority(cluster, host, "oltp", vcpus);
+  vm.attach(std::make_unique<wl::SysbenchOltp>(p));
+  return vm.id();
+}
+
+int add_sysbench_cpu(Cluster& cluster, const std::string& host, wl::SysbenchCpu::Params p,
+                     int vcpus) {
+  virt::Vm& vm = boot_low_priority(cluster, host, "sysbench-cpu", vcpus);
+  vm.attach(std::make_unique<wl::SysbenchCpu>(p));
+  return vm.id();
+}
+
+int add_dd_writer(Cluster& cluster, const std::string& host, wl::DdSequentialWriter::Params p,
+                  int vcpus) {
+  virt::Vm& vm = boot_low_priority(cluster, host, "dd-writer", vcpus);
+  vm.attach(std::make_unique<wl::DdSequentialWriter>(p));
+  return vm.id();
+}
+
+sim::SimTime run_until_done(Cluster& cluster, double t_max_s) {
+  return cluster.engine->run_while([&] { return !cluster.framework->all_done(); },
+                                   sim::SimTime(t_max_s));
+}
+
+sim::SimTime run_for(Cluster& cluster, double duration_s) {
+  return cluster.engine->run_until(cluster.engine->now() + duration_s);
+}
+
+double run_job(Cluster& cluster, const wl::JobSpec& spec, double t_max_s) {
+  const wl::JobId id = cluster.framework->submit(spec);
+  cluster.engine->run_while(
+      [&] {
+        const wl::Job* job = cluster.framework->find_job(id);
+        return job != nullptr && !job->finished();
+      },
+      sim::SimTime(cluster.engine->now().seconds() + t_max_s));
+  const wl::Job* job = cluster.framework->find_job(id);
+  if (job == nullptr || !job->completed()) {
+    throw std::runtime_error("job did not complete within the time limit");
+  }
+  return job->jct();
+}
+
+}  // namespace perfcloud::exp

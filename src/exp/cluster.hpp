@@ -1,0 +1,89 @@
+// Experiment cluster builder: assembles engine, cloud, hosts, a virtual
+// Hadoop/Spark cluster, antagonist VMs, and (optionally) PerfCloud node
+// managers into one ready-to-run scenario.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_manager.hpp"
+#include "core/node_manager.hpp"
+#include "sim/engine.hpp"
+#include "workloads/antagonists.hpp"
+#include "workloads/framework.hpp"
+
+namespace perfcloud::exp {
+
+struct ClusterParams {
+  int hosts = 1;
+  /// Worker VMs of the high-priority scale-out application, spread evenly
+  /// over the hosts (paper §IV-A: 12-node cluster on 1 host, 152-node on 15;
+  /// two of the paper's nodes are masters, which live inside the framework
+  /// object here, so worker counts are the paper's node count minus two).
+  int workers = 10;
+  int vm_vcpus = 2;
+  std::uint64_t seed = 42;
+  double tick_dt = 0.1;          ///< Arbitration tick.
+  double sched_period = 1.0;     ///< Framework scheduling period.
+  std::string app_id = "hadoop";
+  hw::ServerConfig server;       ///< Template; name is overwritten per host.
+  /// Heterogeneous clusters (§IV-D future work): per-host speed factors,
+  /// cycled over the hosts; factor f scales the host's CPU clock by f.
+  /// Empty means homogeneous. A VM on a 0.6x host really is ~40 % slower —
+  /// the hardware-heterogeneity stragglers PerfCloud cannot fix and
+  /// speculative execution can.
+  std::vector<double> host_speed_factors;
+};
+
+/// A built scenario. Everything hangs off the engine; run with
+/// `run_until_done` / `run_for` below.
+struct Cluster {
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<cloud::CloudManager> cloud;
+  std::unique_ptr<wl::ScaleOutFramework> framework;
+  std::vector<std::unique_ptr<core::NodeManager>> node_managers;
+  std::vector<int> worker_vm_ids;
+  std::vector<std::string> hosts;
+  ClusterParams params;
+
+  [[nodiscard]] virt::Vm& vm(int vm_id);
+  /// Node manager of the given host index (empty unless enable_perfcloud ran).
+  [[nodiscard]] core::NodeManager& node_manager(std::size_t host_index) {
+    return *node_managers.at(host_index);
+  }
+};
+
+/// Build hosts + workers + framework and start host ticking and framework
+/// scheduling. PerfCloud is NOT started; call `enable_perfcloud` for that.
+[[nodiscard]] Cluster make_cluster(const ClusterParams& params);
+
+/// Attach one node manager per host. `control` false gives monitoring-only
+/// node managers (the "default system" curves in Figs 3/4/9).
+void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool control = true);
+
+// --- Antagonist VM helpers: boot a low-priority VM running the given tool
+//     on the chosen host; return its VM id. ---
+int add_fio(Cluster& cluster, const std::string& host, wl::FioRandomRead::Params p = {},
+            int vcpus = 2);
+int add_stream(Cluster& cluster, const std::string& host, wl::StreamBenchmark::Params p = {},
+               int vcpus = -1 /* default: p.threads */);
+int add_oltp(Cluster& cluster, const std::string& host, wl::SysbenchOltp::Params p = {},
+             int vcpus = 4);
+int add_sysbench_cpu(Cluster& cluster, const std::string& host, wl::SysbenchCpu::Params p = {},
+                     int vcpus = 4);
+int add_dd_writer(Cluster& cluster, const std::string& host, wl::DdSequentialWriter::Params p = {},
+                  int vcpus = 2);
+
+/// Run until the framework reports every job finished (or t_max). Returns
+/// final sim time.
+sim::SimTime run_until_done(Cluster& cluster, double t_max_s = 36000.0);
+/// Run for a fixed amount of simulated time.
+sim::SimTime run_for(Cluster& cluster, double duration_s);
+
+/// Submit one job and run it to completion; returns its completion time in
+/// seconds. The cluster can be reused for consecutive jobs.
+double run_job(Cluster& cluster, const wl::JobSpec& spec, double t_max_s = 36000.0);
+
+}  // namespace perfcloud::exp

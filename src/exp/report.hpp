@@ -1,0 +1,36 @@
+// Plain-text table and CSV reporting for the figure-reproduction benches.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace perfcloud::exp {
+
+/// Fixed-width text table, printed in the style of the paper's result rows.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Convenience: format doubles with the given precision.
+  Table& add_row(const std::string& label, const std::vector<double>& values, int precision = 3);
+
+  void print(std::ostream& os) const;
+  /// Comma-separated dump (same content as print).
+  void write_csv(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helper: fixed precision without trailing garbage.
+[[nodiscard]] std::string fmt(double v, int precision = 3);
+
+/// Print a standard figure banner so bench output is self-describing.
+void print_banner(std::ostream& os, const std::string& figure, const std::string& description);
+
+}  // namespace perfcloud::exp

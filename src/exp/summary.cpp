@@ -1,0 +1,52 @@
+#include "exp/summary.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "exp/report.hpp"
+#include "sim/stats.hpp"
+
+namespace perfcloud::exp {
+
+RunSummary summarize(const wl::ScaleOutFramework& framework) {
+  RunSummary s;
+  std::vector<double> jcts;
+  for (const auto& job : framework.jobs()) {
+    ++s.jobs_submitted;
+    if (job->completed()) {
+      ++s.jobs_completed;
+      jcts.push_back(job->jct());
+    } else if (job->killed()) {
+      ++s.jobs_killed;
+    }
+    for (std::size_t st = 0; st < job->stage_count(); ++st) {
+      for (const wl::TaskState& t : job->stage(st)) {
+        for (const wl::AttemptRecord& a : t.attempts) {
+          ++s.attempts_total;
+          if (a.speculative) ++s.attempts_speculative;
+          if (a.killed) ++s.attempts_killed;
+        }
+      }
+    }
+  }
+  if (!jcts.empty()) {
+    s.mean_jct = sim::mean_of(jcts);
+    s.median_jct = sim::percentile_of(jcts, 0.5);
+    s.p95_jct = sim::percentile_of(jcts, 0.95);
+    s.max_jct = sim::percentile_of(jcts, 1.0);
+  }
+  s.utilization_efficiency = framework.utilization_efficiency();
+  return s;
+}
+
+void print(std::ostream& os, const RunSummary& s) {
+  os << "jobs: " << s.jobs_completed << "/" << s.jobs_submitted << " completed";
+  if (s.jobs_killed > 0) os << ", " << s.jobs_killed << " killed";
+  os << "\nJCT: mean " << fmt(s.mean_jct, 1) << " s, median " << fmt(s.median_jct, 1)
+     << " s, p95 " << fmt(s.p95_jct, 1) << " s, max " << fmt(s.max_jct, 1) << " s\n"
+     << "attempts: " << s.attempts_total << " total, " << s.attempts_speculative
+     << " speculative, " << s.attempts_killed << " killed/failed\n"
+     << "utilization efficiency: " << fmt(s.utilization_efficiency, 3) << "\n";
+}
+
+}  // namespace perfcloud::exp

@@ -1,0 +1,30 @@
+// Run summary: one-stop aggregation of what happened to a framework's jobs.
+#pragma once
+
+#include <iosfwd>
+
+#include "workloads/framework.hpp"
+
+namespace perfcloud::exp {
+
+struct RunSummary {
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int jobs_killed = 0;       ///< Clone losers and explicit kills.
+  double mean_jct = 0.0;     ///< Over completed jobs.
+  double median_jct = 0.0;
+  double p95_jct = 0.0;
+  double max_jct = 0.0;
+  double utilization_efficiency = 1.0;
+  int attempts_total = 0;
+  int attempts_speculative = 0;
+  int attempts_killed = 0;   ///< Lost races, injected failures, clone kills.
+};
+
+/// Aggregate over every job the framework has seen so far.
+[[nodiscard]] RunSummary summarize(const wl::ScaleOutFramework& framework);
+
+/// Human-readable multi-line dump.
+void print(std::ostream& os, const RunSummary& s);
+
+}  // namespace perfcloud::exp

@@ -1,0 +1,47 @@
+#include "exp/trace.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+namespace perfcloud::exp {
+
+void TraceRecorder::add(const std::string& column, const sim::TimeSeries& series) {
+  entries_.push_back(Entry{column, &series});
+}
+
+void TraceRecorder::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+
+  std::set<double> grid;
+  for (const Entry& e : entries_) {
+    for (std::size_t i = 0; i < e.series->size(); ++i) {
+      grid.insert(e.series->time(i).seconds());
+    }
+  }
+
+  f << "t";
+  for (const Entry& e : entries_) f << ',' << e.column;
+  f << '\n';
+
+  // March one cursor per series along the sorted union grid.
+  std::vector<std::size_t> cursor(entries_.size(), 0);
+  for (const double t : grid) {
+    f << t;
+    for (std::size_t c = 0; c < entries_.size(); ++c) {
+      const sim::TimeSeries& s = *entries_[c].series;
+      std::size_t& i = cursor[c];
+      while (i < s.size() && s.time(i).seconds() < t - 1e-9) ++i;
+      f << ',';
+      if (i < s.size() && std::abs(s.time(i).seconds() - t) <= 1e-9) {
+        f << s.value(i);
+        ++i;
+      }
+    }
+    f << '\n';
+  }
+}
+
+}  // namespace perfcloud::exp

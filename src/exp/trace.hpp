@@ -1,0 +1,32 @@
+// Trace recorder: dump named time series to CSV for offline plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/time_series.hpp"
+
+namespace perfcloud::exp {
+
+/// Collects references to time series under column names and writes them as
+/// one CSV aligned on the first series' timestamps (missing samples empty).
+class TraceRecorder {
+ public:
+  /// Register a series under `column`. The series must outlive write_csv.
+  void add(const std::string& column, const sim::TimeSeries& series);
+
+  [[nodiscard]] std::size_t columns() const { return entries_.size(); }
+
+  /// Write "t,<col1>,<col2>,..." rows; the time grid is the union of all
+  /// sample times. Throws std::runtime_error if the file cannot be opened.
+  void write_csv(const std::string& path) const;
+
+ private:
+  struct Entry {
+    std::string column;
+    const sim::TimeSeries* series;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace perfcloud::exp

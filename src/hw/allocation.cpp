@@ -1,0 +1,52 @@
+#include "hw/allocation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace perfcloud::hw {
+
+std::vector<double> weighted_fair_allocate(double capacity, std::span<const Claim> claims) {
+  const std::size_t n = claims.size();
+  std::vector<double> granted(n, 0.0);
+  if (n == 0 || capacity <= 0.0) return granted;
+
+  std::vector<double> want(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(claims[i].demand >= 0.0);
+    assert(claims[i].weight > 0.0);
+    want[i] = std::min(claims[i].demand, std::max(0.0, claims[i].cap));
+  }
+
+  std::vector<bool> frozen(n, false);
+  double remaining = capacity;
+  // Each round freezes at least one claimant, so at most n rounds.
+  for (std::size_t round = 0; round < n; ++round) {
+    double active_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!frozen[i] && granted[i] < want[i]) active_weight += claims[i].weight;
+    }
+    if (active_weight <= 0.0 || remaining <= 1e-15) break;
+
+    bool any_frozen = false;
+    double handed_out = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i] || granted[i] >= want[i]) continue;
+      const double share = remaining * claims[i].weight / active_weight;
+      const double room = want[i] - granted[i];
+      if (share >= room) {
+        granted[i] = want[i];
+        handed_out += room;
+        frozen[i] = true;
+        any_frozen = true;
+      } else {
+        granted[i] += share;
+        handed_out += share;
+      }
+    }
+    remaining -= handed_out;
+    if (!any_frozen) break;  // everyone got exactly their proportional share
+  }
+  return granted;
+}
+
+}  // namespace perfcloud::hw

@@ -1,0 +1,20 @@
+#include "hw/cpu.hpp"
+
+#include "hw/allocation.hpp"
+
+namespace perfcloud::hw {
+
+std::vector<double> CpuScheduler::allocate(double dt, std::span<const TenantDemand> demands) const {
+  std::vector<Claim> claims;
+  claims.reserve(demands.size());
+  for (const TenantDemand& d : demands) {
+    claims.push_back(Claim{
+        .demand = d.cpu_core_seconds,
+        .weight = d.cpu_weight,
+        .cap = d.cpu_cap_cores * dt,
+    });
+  }
+  return weighted_fair_allocate(capacity(dt), claims);
+}
+
+}  // namespace perfcloud::hw

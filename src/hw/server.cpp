@@ -1,0 +1,73 @@
+#include "hw/server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace perfcloud::hw {
+
+Server::Server(ServerConfig cfg, sim::Rng rng)
+    : cfg_(std::move(cfg)), cpu_(cfg_.cpu), disk_(cfg_.disk, rng.split(0xd15c)) {
+  if (cfg_.sockets < 1) throw std::invalid_argument("server needs at least one socket");
+  memory_.reserve(static_cast<std::size_t>(cfg_.sockets));
+  for (int s = 0; s < cfg_.sockets; ++s) {
+    memory_.emplace_back(cfg_.memory, rng.split(0x3e3 + static_cast<std::uint64_t>(s)));
+  }
+}
+
+double Server::last_bw_utilization() const {
+  double u = 0.0;
+  for (const MemorySystem& m : memory_) u = std::max(u, m.last_bw_utilization());
+  return u;
+}
+
+std::vector<TenantGrant> Server::arbitrate(double dt, std::span<const TenantDemand> demands) {
+  const std::size_t n = demands.size();
+  std::vector<TenantGrant> grants(n);
+  if (n == 0) return grants;
+
+  // CPU first: instruction retirement depends on the memory model, which in
+  // turn needs to know how much CPU time each tenant ran.
+  const std::vector<double> cpu_sec = cpu_.allocate(dt, demands);
+
+  // Memory contention is per NUMA socket: partition the tenants, run each
+  // socket's model on its residents, and scatter the results back. The
+  // partition order is stable (ascending original index), which keeps the
+  // per-slot jitter state attached to the same tenant over time as long as
+  // the resident set is stable.
+  std::vector<MemoryGrant> mem(n);
+  for (int s = 0; s < cfg_.sockets; ++s) {
+    std::vector<TenantDemand> socket_demands;
+    std::vector<double> socket_cpu;
+    std::vector<std::size_t> index;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int node = std::clamp(demands[i].numa_node, 0, cfg_.sockets - 1);
+      if (node != s) continue;
+      socket_demands.push_back(demands[i]);
+      socket_cpu.push_back(cpu_sec[i]);
+      index.push_back(i);
+    }
+    if (index.empty()) continue;
+    const std::vector<MemoryGrant> socket_grants =
+        memory_[static_cast<std::size_t>(s)].compute(dt, socket_demands, socket_cpu);
+    for (std::size_t k = 0; k < index.size(); ++k) mem[index[k]] = socket_grants[k];
+  }
+
+  const std::vector<DiskGrant> disk = disk_.serve(dt, demands);
+
+  const double clock = cpu_.config().clock_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    TenantGrant& g = grants[i];
+    g.cpu_core_seconds = cpu_sec[i];
+    g.cycles = cpu_sec[i] * clock;
+    g.cpi = mem[i].cpi;
+    g.instructions = g.cpi > 0.0 ? g.cycles / g.cpi : 0.0;
+    g.llc_misses = mem[i].llc_misses;
+    g.mem_bw_bytes = mem[i].bw_bytes;
+    g.io_ops = disk[i].ops;
+    g.io_bytes = disk[i].bytes;
+    g.io_wait_seconds = disk[i].wait_seconds;
+  }
+  return grants;
+}
+
+}  // namespace perfcloud::hw

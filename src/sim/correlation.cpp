@@ -1,0 +1,99 @@
+#include "sim/correlation.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace perfcloud::sim {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  assert(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  const double denom = std::sqrt(sxx * syy);
+  if (denom <= 1e-12) return 0.0;
+  return sxy / denom;
+}
+
+double pearson_missing_as_zero(const TimeSeries& victim, const TimeSeries& suspect) {
+  const std::vector<double> aligned = align_to(victim, suspect, /*missing_value=*/0.0);
+  return pearson(victim.values(), aligned);
+}
+
+namespace {
+
+/// Suspect samples aligned onto the victim's last `take` sample times
+/// (missing -> 0), starting at victim index `start`.
+std::vector<double> aligned_tail(const TimeSeries& victim, const TimeSeries& suspect,
+                                 std::size_t start, std::size_t take) {
+  std::vector<double> aligned(take, 0.0);
+  std::size_t j = 0;
+  if (take > 0 && !suspect.empty()) {
+    const double t0 = victim.time(start).seconds();
+    std::size_t lo = 0;
+    std::size_t hi = suspect.size();
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (suspect.time(mid).seconds() < t0 - 1e-6) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    j = lo;
+  }
+  for (std::size_t i = 0; i < take; ++i) {
+    const double t = victim.time(start + i).seconds();
+    while (j < suspect.size() && suspect.time(j).seconds() < t - 1e-6) ++j;
+    if (j < suspect.size() && std::abs(suspect.time(j).seconds() - t) <= 1e-6) {
+      aligned[i] = suspect.value(j);
+      ++j;
+    }
+  }
+  return aligned;
+}
+
+}  // namespace
+
+double windowed_mean_missing_as_zero(const TimeSeries& victim, const TimeSeries& suspect,
+                                     std::size_t window) {
+  const std::size_t n = victim.size();
+  const std::size_t take = std::min(window, n);
+  if (take == 0) return 0.0;
+  const std::vector<double> aligned = aligned_tail(victim, suspect, n - take, take);
+  double sum = 0.0;
+  for (const double v : aligned) sum += v;
+  return sum / static_cast<double>(take);
+}
+
+double pearson_missing_as_zero(const TimeSeries& victim, const TimeSeries& suspect,
+                               std::size_t window) {
+  const std::size_t n = victim.size();
+  const std::size_t take = std::min(window, n);
+  const std::size_t start = n - take;
+  // Align only the window: the monitor calls this every interval against
+  // ever-growing series, so walking the full history would be quadratic
+  // over a run.
+  const std::vector<double> aligned = aligned_tail(victim, suspect, start, take);
+  return pearson(victim.values().subspan(start), aligned);
+}
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,76 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace perfcloud::sim {
+
+Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+
+EventHandle Engine::at(SimTime t, EventQueue::Callback cb) {
+  assert(t >= now_);
+  return queue_.schedule(t, std::move(cb));
+}
+
+EventHandle Engine::after(double dt, EventQueue::Callback cb) {
+  assert(dt >= 0.0);
+  return queue_.schedule(now_ + dt, std::move(cb));
+}
+
+void Engine::every(double period, PeriodicFn fn, SimTime start) {
+  assert(period > 0.0);
+  const SimTime first = start >= now_ ? start : now_;
+  periodics_.push_back(Periodic{period, std::move(fn), first});
+}
+
+void Engine::fire_due_periodics(SimTime t) {
+  // Fire periodics in (time, registration-index) order until none is due at
+  // or before t. A periodic callback may register further periodics; those
+  // start no earlier than `now_`, so index-based iteration stays valid.
+  for (;;) {
+    std::size_t best = periodics_.size();
+    SimTime best_t = SimTime::infinity();
+    for (std::size_t i = 0; i < periodics_.size(); ++i) {
+      if (periodics_[i].next <= t && periodics_[i].next < best_t) {
+        best = i;
+        best_t = periodics_[i].next;
+      }
+    }
+    if (best == periodics_.size()) return;
+    now_ = best_t;
+    Periodic& p = periodics_[best];
+    p.next = p.next + p.period;
+    p.fn(now_);
+    if (stopped_) return;
+  }
+}
+
+SimTime Engine::run_until(SimTime t_end) {
+  return run_while([] { return true; }, t_end);
+}
+
+SimTime Engine::run_while(const std::function<bool()>& keep_going, SimTime t_end) {
+  stopped_ = false;
+  while (!stopped_ && keep_going()) {
+    SimTime next_periodic = SimTime::infinity();
+    for (const Periodic& p : periodics_) next_periodic = std::min(next_periodic, p.next);
+    const SimTime next_event = queue_.next_time();
+    const SimTime next = std::min(next_periodic, next_event);
+    if (next > t_end || next == SimTime::infinity()) {
+      if (t_end != SimTime::infinity()) now_ = t_end;
+      break;
+    }
+    if (next_periodic <= next_event) {
+      // Periodic activities (arbitration, monitors) run before one-shot
+      // events carrying the same timestamp.
+      fire_due_periodics(next_periodic);
+    } else {
+      now_ = next_event;
+      queue_.run_next();
+    }
+  }
+  return now_;
+}
+
+}  // namespace perfcloud::sim

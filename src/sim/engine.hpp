@@ -1,0 +1,71 @@
+// Simulation engine: clock, event dispatch, and periodic activities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace perfcloud::sim {
+
+/// Owns the simulated clock and the event queue, and drives periodic
+/// activities (resource-arbitration ticks, monitor sampling, framework
+/// scheduling polls).
+///
+/// Periodic activities registered with the same period fire in registration
+/// order at each multiple of the period — deterministic, which matters
+/// because arbitration must run before monitors sample its results.
+class Engine {
+ public:
+  using PeriodicFn = std::function<void(SimTime)>;
+
+  explicit Engine(std::uint64_t seed = 42);
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+  /// Schedule a one-shot event at absolute time `t` (>= now).
+  EventHandle at(SimTime t, EventQueue::Callback cb);
+  /// Schedule a one-shot event `dt` seconds from now.
+  EventHandle after(double dt, EventQueue::Callback cb);
+  bool cancel(EventHandle h) { return queue_.cancel(h); }
+
+  /// Register a periodic activity firing every `period` seconds, first at
+  /// time `start`. Runs until the engine stops; there is no deregistration
+  /// because entities live as long as the experiment.
+  void every(double period, PeriodicFn fn, SimTime start = SimTime(0.0));
+
+  /// Run until the queue drains or `t_end` is reached, whichever is first.
+  /// Returns the final simulated time.
+  SimTime run_until(SimTime t_end);
+
+  /// Run until `predicate()` becomes true (checked after every event) or
+  /// `t_end` is reached. Used by experiment drivers to stop when a job set
+  /// completes.
+  SimTime run_while(const std::function<bool()>& keep_going, SimTime t_end);
+
+  /// Request the current run_* call to return after the in-flight event.
+  void stop() { stopped_ = true; }
+
+ private:
+  struct Periodic {
+    double period;
+    PeriodicFn fn;
+    SimTime next;
+  };
+
+  void pump_periodics_until(SimTime t);
+  /// Fire all periodics due at exactly their next times <= t, in a globally
+  /// time-ordered, registration-stable order.
+  void fire_due_periodics(SimTime t);
+
+  SimTime now_{0.0};
+  EventQueue queue_;
+  std::vector<Periodic> periodics_;
+  Rng rng_;
+  bool stopped_ = false;
+};
+
+}  // namespace perfcloud::sim

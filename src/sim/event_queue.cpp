@@ -1,0 +1,74 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace perfcloud::sim {
+
+EventHandle EventQueue::schedule(SimTime t, Callback cb) {
+  const std::uint64_t id = next_id_++;
+  heap_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace_back(id, std::move(cb));
+  ++live_;
+  return EventHandle{id};
+}
+
+EventQueue::Callback* EventQueue::find_callback(std::uint64_t id) {
+  // callbacks_ stays sorted by id because ids are assigned monotonically and
+  // appended in order.
+  const auto it = std::lower_bound(callbacks_.begin(), callbacks_.end(), id,
+                                   [](const auto& p, std::uint64_t v) { return p.first < v; });
+  if (it == callbacks_.end() || it->first != id) return nullptr;
+  return &it->second;
+}
+
+void EventQueue::erase_callback(std::uint64_t id) {
+  const auto it = std::lower_bound(callbacks_.begin(), callbacks_.end(), id,
+                                   [](const auto& p, std::uint64_t v) { return p.first < v; });
+  if (it != callbacks_.end() && it->first == id) callbacks_.erase(it);
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  if (find_callback(h.id) == nullptr) return false;
+  erase_callback(h.id);
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled() const {
+  // const_cast-free lazily skipping requires mutable heap_; we only remove
+  // entries whose callback is gone, which does not change observable state.
+  auto* self = const_cast<EventQueue*>(this);
+  while (!heap_.empty()) {
+    const Entry& top = heap_.top();
+    if (self->find_callback(top.id) != nullptr) return;
+    self->heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const {
+  drop_cancelled();
+  return heap_.empty();
+}
+
+SimTime EventQueue::next_time() const {
+  drop_cancelled();
+  return heap_.empty() ? SimTime::infinity() : heap_.top().t;
+}
+
+bool EventQueue::run_next() {
+  drop_cancelled();
+  if (heap_.empty()) return false;
+  const Entry top = heap_.top();
+  heap_.pop();
+  Callback* cb = find_callback(top.id);
+  assert(cb != nullptr);
+  Callback fn = std::move(*cb);
+  erase_callback(top.id);
+  --live_;
+  fn(top.t);
+  return true;
+}
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,73 @@
+// Discrete-event queue: the heart of the simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace perfcloud::sim {
+
+/// Handle returned when scheduling an event; can be used to cancel it.
+/// Handles are never reused within one queue instance.
+struct EventHandle {
+  std::uint64_t id = 0;
+  [[nodiscard]] bool valid() const { return id != 0; }
+};
+
+/// Min-heap of timed callbacks with stable FIFO ordering for simultaneous
+/// events (ties broken by insertion sequence, so behaviour is deterministic).
+///
+/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
+/// on pop. This keeps cancel() O(log n)-free and is cheap because cancelled
+/// events (killed speculative tasks, aborted clones) are a small fraction of
+/// the total.
+class EventQueue {
+ public:
+  using Callback = std::function<void(SimTime)>;
+
+  /// Schedule `cb` to fire at absolute time `t`. `t` must not be in the past
+  /// relative to the last popped event.
+  EventHandle schedule(SimTime t, Callback cb);
+
+  /// Cancel a scheduled event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op. Returns true if the event was
+  /// still pending.
+  bool cancel(EventHandle h);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t pending() const { return live_; }
+
+  /// Time of the next live event; SimTime::infinity() if none.
+  [[nodiscard]] SimTime next_time() const;
+
+  /// Pop and run the next live event; returns false if the queue is empty.
+  bool run_next();
+
+ private:
+  struct Entry {
+    SimTime t;
+    std::uint64_t seq;
+    std::uint64_t id;
+    // Heap invariant: earliest time first, then lowest sequence number.
+    bool operator>(const Entry& other) const {
+      if (t != other.t) return t > other.t;
+      return seq > other.seq;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::vector<std::pair<std::uint64_t, Callback>> callbacks_;  // id -> cb (sorted by id)
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::size_t live_ = 0;
+
+  Callback* find_callback(std::uint64_t id);
+  void erase_callback(std::uint64_t id);
+};
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,38 @@
+// Exponentially weighted moving average, as used by PerfCloud's performance
+// monitor to smooth metric samples collected at 5-second intervals (§III-D).
+#pragma once
+
+#include <cassert>
+
+namespace perfcloud::sim {
+
+class Ewma {
+ public:
+  /// `alpha` is the weight of the newest sample in (0, 1]. alpha = 1 degrades
+  /// to pass-through (no smoothing).
+  explicit Ewma(double alpha = 0.3) : alpha_(alpha) { assert(alpha > 0.0 && alpha <= 1.0); }
+
+  double update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = alpha_ * sample + (1.0 - alpha_) * value_;
+    }
+    return value_;
+  }
+
+  [[nodiscard]] bool seeded() const { return seeded_; }
+  [[nodiscard]] double value() const { return value_; }
+  void reset() {
+    seeded_ = false;
+    value_ = 0.0;
+  }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,123 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace perfcloud::sim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+double RunningStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const { return min_; }
+double RunningStats::max() const { return max_; }
+
+double mean_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> xs, double mu) {
+  double acc = 0.0;
+  for (double x : xs) acc += (x - mu) * (x - mu);
+  return acc;
+}
+}  // namespace
+
+double stddev_of(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double mu = mean_of(xs);
+  return std::sqrt(sum_sq_dev(xs, mu) / static_cast<double>(xs.size() - 1));
+}
+
+double population_stddev_of(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  const double mu = mean_of(xs);
+  return std::sqrt(sum_sq_dev(xs, mu) / static_cast<double>(xs.size()));
+}
+
+double percentile_of(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+BoxStats box_stats_of(std::span<const double> xs) {
+  BoxStats b;
+  b.count = xs.size();
+  if (xs.empty()) return b;
+  b.min = percentile_of(xs, 0.0);
+  b.q1 = percentile_of(xs, 0.25);
+  b.median = percentile_of(xs, 0.5);
+  b.q3 = percentile_of(xs, 0.75);
+  b.max = percentile_of(xs, 1.0);
+  b.mean = mean_of(xs);
+  return b;
+}
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  if (!std::is_sorted(edges_.begin(), edges_.end())) {
+    throw std::invalid_argument("Histogram edges must be ascending");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+void Histogram::add(double x) {
+  const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - edges_.begin())];
+  ++total_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,83 @@
+// Streaming and batch statistics used by the performance monitor, the
+// interference detector, and the experiment reporters.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace perfcloud::sim {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a batch; 0 for an empty span.
+[[nodiscard]] double mean_of(std::span<const double> xs);
+/// Sample standard deviation of a batch; 0 for fewer than two samples.
+/// This is the paper's deviation signal: stddev of the block-iowait ratio or
+/// CPI measured across the VMs of one application on one host.
+[[nodiscard]] double stddev_of(std::span<const double> xs);
+/// Population standard deviation (n denominator).
+[[nodiscard]] double population_stddev_of(std::span<const double> xs);
+
+/// Linear-interpolation percentile of an unsorted batch, q in [0, 1].
+/// Copies and sorts internally; intended for end-of-run reporting.
+[[nodiscard]] double percentile_of(std::span<const double> xs, double q);
+
+/// Five-number summary plus mean, used by the Fig-12 variability experiment
+/// (box plots of normalized job completion time).
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  std::size_t count = 0;
+};
+
+[[nodiscard]] BoxStats box_stats_of(std::span<const double> xs);
+
+/// Fixed-bin histogram; used for the Fig-11 degradation-breakdown bars
+/// ("fraction of jobs with < 10 % / 10-30 % / ... degradation").
+class Histogram {
+ public:
+  /// `edges` are the interior bin edges, ascending; values below the first
+  /// edge land in bin 0, values >= the last edge land in the final bin.
+  explicit Histogram(std::vector<double> edges);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Fraction of all samples in `bin`; 0 if no samples yet.
+  [[nodiscard]] double fraction(std::size_t bin) const;
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,34 @@
+// Interface implemented by everything that runs inside a VM.
+#pragma once
+
+#include <string_view>
+
+#include "hw/tenant.hpp"
+#include "sim/types.hpp"
+
+namespace perfcloud::virt {
+
+/// A guest workload generates per-tick resource demand and consumes the
+/// grant the hypervisor delivers. To the host — and to PerfCloud — a guest
+/// is a black box observable only through its cgroup counters, exactly as in
+/// the paper.
+class GuestWorkload {
+ public:
+  virtual ~GuestWorkload() = default;
+
+  /// Resource demand for the next tick of length `dt`. Cap fields are
+  /// ignored (caps belong to the cgroup); demand fields describe what the
+  /// guest would consume on an idle host.
+  [[nodiscard]] virtual hw::TenantDemand demand(sim::SimTime now, double dt) = 0;
+
+  /// Deliver what the host actually granted for the tick ending at `now`.
+  virtual void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) = 0;
+
+  /// True once the workload has run to completion (always false for
+  /// open-ended antagonists).
+  [[nodiscard]] virtual bool finished(sim::SimTime now) const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+};
+
+}  // namespace perfcloud::virt

@@ -1,0 +1,120 @@
+#include "virt/hypervisor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+#include <string>
+
+namespace perfcloud::virt {
+
+Vm& Hypervisor::boot(VmConfig cfg) {
+  if (find(cfg.id) != nullptr) {
+    throw std::invalid_argument("duplicate VM id " + std::to_string(cfg.id));
+  }
+  const int requested = cfg.numa_node;
+  vms_.push_back(std::make_unique<Vm>(std::move(cfg)));
+  Vm& vm = *vms_.back();
+  vm.set_numa_node(requested >= 0 ? requested : pick_numa_node(vm.vcpus()));
+  return vm;
+}
+
+int Hypervisor::pick_numa_node(int /*vcpus*/) const {
+  // Least-loaded socket by resident vCPU count.
+  const int sockets = server_.sockets();
+  if (sockets <= 1) return 0;
+  std::vector<int> load(static_cast<std::size_t>(sockets), 0);
+  for (const auto& vm : vms_) {
+    const int node = std::clamp(vm->numa_node(), 0, sockets - 1);
+    load[static_cast<std::size_t>(node)] += vm->vcpus();
+  }
+  int best = 0;
+  for (int s = 1; s < sockets; ++s) {
+    if (load[static_cast<std::size_t>(s)] < load[static_cast<std::size_t>(best)]) best = s;
+  }
+  return best;
+}
+
+std::unique_ptr<Vm> Hypervisor::evict(int vm_id) {
+  for (auto it = vms_.begin(); it != vms_.end(); ++it) {
+    if ((*it)->id() == vm_id) {
+      std::unique_ptr<Vm> vm = std::move(*it);
+      vms_.erase(it);
+      return vm;
+    }
+  }
+  throw std::invalid_argument("unknown VM id " + std::to_string(vm_id));
+}
+
+Vm& Hypervisor::adopt(std::unique_ptr<Vm> vm) {
+  if (find(vm->id()) != nullptr) {
+    throw std::invalid_argument("duplicate VM id " + std::to_string(vm->id()));
+  }
+  vms_.push_back(std::move(vm));
+  return *vms_.back();
+}
+
+Vm* Hypervisor::find(int vm_id) {
+  for (const auto& vm : vms_) {
+    if (vm->id() == vm_id) return vm.get();
+  }
+  return nullptr;
+}
+
+const Vm* Hypervisor::find(int vm_id) const {
+  return const_cast<Hypervisor*>(this)->find(vm_id);
+}
+
+Vm& Hypervisor::require(int vm_id) {
+  Vm* vm = find(vm_id);
+  if (vm == nullptr) throw std::invalid_argument("unknown VM id " + std::to_string(vm_id));
+  return *vm;
+}
+
+const Vm& Hypervisor::require(int vm_id) const {
+  return const_cast<Hypervisor*>(this)->require(vm_id);
+}
+
+void Hypervisor::tick(sim::SimTime now, double dt) {
+  std::vector<hw::TenantDemand> demands;
+  demands.reserve(vms_.size());
+  for (const auto& vm : vms_) {
+    hw::TenantDemand d{};
+    if (!vm->idle(now)) {
+      d = vm->guest()->demand(now, dt);
+    }
+    // The guest can never demand more CPU than its vCPUs can run.
+    d.cpu_core_seconds = std::min(d.cpu_core_seconds, static_cast<double>(vm->vcpus()) * dt);
+    // Attach the cgroup's caps.
+    const Cgroup& cg = vm->cgroup();
+    d.cpu_cap_cores = std::min(cg.cpu_quota_cores(), static_cast<double>(vm->vcpus()));
+    d.io_cap_bytes_per_sec = cg.blkio_throttle_bps();
+    d.io_cap_iops = cg.blkio_throttle_iops();
+    d.numa_node = vm->numa_node();
+    demands.push_back(d);
+  }
+
+  const std::vector<hw::TenantGrant> grants = server_.arbitrate(dt, demands);
+  for (std::size_t i = 0; i < vms_.size(); ++i) {
+    Vm& vm = *vms_[i];
+    vm.cgroup().account(grants[i]);
+    if (!vm.idle(now)) vm.guest()->apply(grants[i], now, dt);
+  }
+}
+
+void Hypervisor::set_vcpu_quota(int vm_id, double cores) {
+  require(vm_id).cgroup().set_cpu_quota_cores(cores);
+}
+
+void Hypervisor::clear_vcpu_quota(int vm_id) { require(vm_id).cgroup().clear_cpu_quota(); }
+
+void Hypervisor::set_blkio_throttle(int vm_id, sim::Bytes bytes_per_sec) {
+  require(vm_id).cgroup().set_blkio_throttle_bps(bytes_per_sec);
+}
+
+void Hypervisor::clear_blkio_throttle(int vm_id) {
+  require(vm_id).cgroup().clear_blkio_throttle();
+}
+
+const CgroupStats& Hypervisor::dom_stats(int vm_id) const { return require(vm_id).cgroup().stats(); }
+
+}  // namespace perfcloud::virt

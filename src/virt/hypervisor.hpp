@@ -1,0 +1,68 @@
+// Hypervisor: hosts VMs on one physical server, drives the per-tick
+// arbitration, and exposes the libvirt-style control/observation API that
+// PerfCloud's node manager uses.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hw/server.hpp"
+#include "sim/types.hpp"
+#include "virt/vm.hpp"
+
+namespace perfcloud::virt {
+
+/// Per-host KVM-like hypervisor.
+///
+/// Each tick it collects demand from every resident VM's guest (clamped to
+/// the VM's vCPU allotment and cgroup caps), lets the physical server
+/// arbitrate, then routes grants back to the guests and accounts them into
+/// the VMs' cgroups. Resident order is stable, which keeps the hardware
+/// models' positional jitter state attached to the same VM over time.
+class Hypervisor {
+ public:
+  explicit Hypervisor(hw::ServerConfig server_cfg, sim::Rng rng)
+      : server_(std::move(server_cfg), rng) {}
+
+  Hypervisor(const Hypervisor&) = delete;
+  Hypervisor& operator=(const Hypervisor&) = delete;
+
+  /// Boot a VM on this host. The hypervisor owns it.
+  Vm& boot(VmConfig cfg);
+
+  /// Remove a VM from this host and hand over ownership (live-migration
+  /// source side). The VM keeps its cgroup counters and guest state.
+  /// Throws if the VM is unknown.
+  [[nodiscard]] std::unique_ptr<Vm> evict(int vm_id);
+
+  /// Accept a VM migrated from another host (destination side).
+  Vm& adopt(std::unique_ptr<Vm> vm);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Vm>>& vms() const { return vms_; }
+  [[nodiscard]] Vm* find(int vm_id);
+  [[nodiscard]] const Vm* find(int vm_id) const;
+  [[nodiscard]] hw::Server& server() { return server_; }
+
+  /// Advance one arbitration tick ending at `now`.
+  void tick(sim::SimTime now, double dt);
+
+  // --- libvirt-style API used by the node manager ---
+  /// Apply a CPU hard cap (vcpu_quota) in cores. Throws if the VM is unknown.
+  void set_vcpu_quota(int vm_id, double cores);
+  void clear_vcpu_quota(int vm_id);
+  /// Apply a blkio throttle in bytes/second.
+  void set_blkio_throttle(int vm_id, sim::Bytes bytes_per_sec);
+  void clear_blkio_throttle(int vm_id);
+  /// Read the VM's cumulative cgroup counters (blkio + perf_event + cpuacct).
+  [[nodiscard]] const CgroupStats& dom_stats(int vm_id) const;
+
+ private:
+  Vm& require(int vm_id);
+  [[nodiscard]] const Vm& require(int vm_id) const;
+  [[nodiscard]] int pick_numa_node(int vcpus) const;
+
+  hw::Server server_;
+  std::vector<std::unique_ptr<Vm>> vms_;
+};
+
+}  // namespace perfcloud::virt

@@ -1,0 +1,170 @@
+#include "workloads/antagonists.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perfcloud::wl {
+
+namespace {
+constexpr sim::Bytes kTinyFootprint = 2.0 * 1024 * 1024;
+
+/// Sawtooth duty cycle in [duty_min, 1.0] with the given period. The phase
+/// is global (simulation-clock based), not anchored to the workload's start:
+/// a benchmark that begins mid-cycle is already at partial intensity, so
+/// arrival times land at arbitrary points of the cycle.
+double duty(double t, double period, double duty_min) {
+  if (period <= 0.0) return 1.0;
+  const double phase = std::fmod(t, period) / period;
+  return duty_min + (1.0 - duty_min) * phase;
+}
+}  // namespace
+
+// ---------------------------------------------------------------- fio ----
+
+bool FioRandomRead::active(sim::SimTime now) const {
+  if (now.seconds() < p_.start_s) return false;
+  return p_.duration_s < 0.0 || now.seconds() < p_.start_s + p_.duration_s;
+}
+
+hw::TenantDemand FioRandomRead::demand(sim::SimTime now, double dt) {
+  hw::TenantDemand d{};
+  if (!active(now)) return d;
+  const double load = duty(now.seconds(), p_.duty_period_s, p_.duty_min);
+  d.cpu_core_seconds = p_.cpu_cores * load * dt;
+  d.io_ops = p_.issue_iops * load * dt;
+  d.io_bytes = d.io_ops * p_.block_size;
+  // Deep asynchronous queue (iodepth 32): on a FCFS-ish virtio path the
+  // share of device time a stream receives grows with its outstanding
+  // requests, which is how one fio VM starves a whole Hadoop cluster in the
+  // paper's motivation experiments.
+  d.io_weight = 4.0;
+  d.llc_footprint = kTinyFootprint;
+  d.mem_bw_per_cpu_sec = 0.2e9;
+  d.cpi_base = 1.1;
+  d.mem_sensitivity = 0.3;  // I/O-bound: largely insensitive to LLC pressure.
+  return d;
+}
+
+void FioRandomRead::apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) {
+  if (!active(now - dt)) return;
+  ops_completed_ += grant.io_ops;
+  active_seconds_ += dt;
+}
+
+bool FioRandomRead::finished(sim::SimTime now) const {
+  return p_.duration_s >= 0.0 && now.seconds() >= p_.start_s + p_.duration_s;
+}
+
+// ------------------------------------------------------------- STREAM ----
+
+bool StreamBenchmark::active(sim::SimTime now) const {
+  if (now.seconds() < p_.start_s) return false;
+  return p_.duration_s < 0.0 || now.seconds() < p_.start_s + p_.duration_s;
+}
+
+hw::TenantDemand StreamBenchmark::demand(sim::SimTime now, double dt) {
+  hw::TenantDemand d{};
+  if (!active(now)) return d;
+  const double load = duty(now.seconds(), p_.duty_period_s, p_.duty_min);
+  // Validation/reduction phases between kernel sweeps run on fewer threads.
+  d.cpu_core_seconds = static_cast<double>(p_.threads) * (0.3 + 0.7 * load) * dt;
+  // Cache occupancy follows the insertion rate: in low-intensity kernel
+  // phases STREAM's lines age out and its effective LLC pressure drops.
+  d.llc_footprint = p_.array_bytes * load;
+  d.mem_bw_per_cpu_sec = p_.bw_per_cpu_sec * load;
+  d.cpi_base = p_.cpi_base;
+  // STREAM is itself bandwidth-bound, so contention slows it too — but less
+  // than it slows latency-sensitive victims.
+  d.mem_sensitivity = 0.8;
+  return d;
+}
+
+void StreamBenchmark::apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) {
+  if (!active(now - dt)) return;
+  bw_bytes_moved_ += grant.mem_bw_bytes;
+  active_seconds_ += dt;
+}
+
+bool StreamBenchmark::finished(sim::SimTime now) const {
+  return p_.duration_s >= 0.0 && now.seconds() >= p_.start_s + p_.duration_s;
+}
+
+// ------------------------------------------------------------- sysbench oltp ----
+
+bool SysbenchOltp::active(sim::SimTime now) const {
+  return now.seconds() >= p_.start_s && now.seconds() < p_.start_s + p_.duration_s;
+}
+
+hw::TenantDemand SysbenchOltp::demand(sim::SimTime now, double dt) {
+  hw::TenantDemand d{};
+  if (!active(now)) return d;
+  // Sawtooth intensity in [0.35, 1.0]: ramps as the benchmark's query mix
+  // cycles; keeps its I/O signature time-varying but uncorrelated with any
+  // colocated application's phases.
+  const double phase = std::fmod(now.seconds() - p_.start_s, p_.cycle_period_s) / p_.cycle_period_s;
+  const double intensity = 0.35 + 0.65 * phase;
+  d.cpu_core_seconds = p_.cpu_cores * intensity * dt;
+  // Read-only OLTP on a 10M-row table: the InnoDB buffer pool caches the
+  // hot set within tens of seconds, after which disk reads fall to a
+  // trickle. This warmup decay is why a real oltp VM's I/O signature does
+  // not track a victim's contention signal (Fig 5).
+  const double warmup = 0.15 + 0.85 * std::exp(-(now.seconds() - p_.start_s) / 25.0);
+  d.io_ops = p_.peak_iops * intensity * warmup * dt;
+  d.io_bytes = d.io_ops * p_.request_bytes;
+  d.llc_footprint = 12.0 * 1024 * 1024;  // buffer pool hot set
+  d.mem_bw_per_cpu_sec = 1.0e9;
+  d.cpi_base = 1.3;
+  d.mem_sensitivity = 0.8;
+  return d;
+}
+
+void SysbenchOltp::apply(const hw::TenantGrant& grant, sim::SimTime now, double /*dt*/) {
+  if (!active(now)) return;
+  // One "transaction" per ~4 I/O ops in the read-only point-select mix.
+  transactions_ += grant.io_ops / 4.0;
+}
+
+bool SysbenchOltp::finished(sim::SimTime now) const {
+  return now.seconds() >= p_.start_s + p_.duration_s;
+}
+
+// ------------------------------------------------------------- dd seq write ----
+
+hw::TenantDemand DdSequentialWriter::demand(sim::SimTime now, double dt) {
+  hw::TenantDemand d{};
+  if (now.seconds() < p_.start_s || finished(now)) return d;
+  const sim::Bytes want = std::min(p_.target_rate * dt, p_.total_bytes - bytes_written_);
+  d.io_bytes = want;
+  d.io_ops = want / p_.block_size;
+  d.io_weight = 2.0;  // a couple of requests in flight, not a flood
+  d.cpu_core_seconds = 0.15 * dt;
+  d.llc_footprint = kTinyFootprint;
+  d.mem_bw_per_cpu_sec = 0.5e9;
+  d.cpi_base = 1.0;
+  d.mem_sensitivity = 0.2;
+  return d;
+}
+
+void DdSequentialWriter::apply(const hw::TenantGrant& grant, sim::SimTime /*now*/,
+                               double /*dt*/) {
+  bytes_written_ = std::min(bytes_written_ + grant.io_bytes, p_.total_bytes);
+}
+
+// ------------------------------------------------------------- sysbench cpu ----
+
+hw::TenantDemand SysbenchCpu::demand(sim::SimTime now, double dt) {
+  hw::TenantDemand d{};
+  if (now.seconds() < p_.start_s || finished(now)) return d;
+  d.cpu_core_seconds = static_cast<double>(p_.threads) * dt;
+  d.llc_footprint = kTinyFootprint;  // fits in L1/L2; no LLC pressure
+  d.mem_bw_per_cpu_sec = 0.05e9;
+  d.cpi_base = 0.7;
+  d.mem_sensitivity = 0.1;
+  return d;
+}
+
+void SysbenchCpu::apply(const hw::TenantGrant& grant, sim::SimTime /*now*/, double /*dt*/) {
+  instructions_done_ = std::min(instructions_done_ + grant.instructions, p_.total_instructions);
+}
+
+}  // namespace perfcloud::wl

@@ -1,0 +1,187 @@
+// Synthetic antagonist workloads used throughout the paper's evaluation:
+// fio random read, STREAM, sysbench oltp, and sysbench cpu.
+//
+// Each is a GuestWorkload whose demand shape matches the real tool's
+// resource signature; parameters default to the values the paper reports
+// (§III-B: oltp 8 threads/120 s on a 10M-row table, cpu 4 threads primes up
+// to 12M, STREAM 8 threads on 2G-element arrays).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "sim/rng.hpp"
+#include "virt/guest.hpp"
+
+namespace perfcloud::wl {
+
+/// fio random-read: 4 KiB random reads at a fixed issue depth. IOPS-bound;
+/// almost no CPU or memory-bandwidth pressure. Open-ended unless a duration
+/// is set.
+class FioRandomRead : public virt::GuestWorkload {
+ public:
+  struct Params {
+    double issue_iops = 1500.0;      ///< Offered load; > device capacity saturates it.
+    sim::Bytes block_size = 4096.0;
+    double cpu_cores = 0.3;          ///< Issue-path CPU.
+    double duration_s = -1.0;        ///< < 0 means run forever.
+    double start_s = 0.0;            ///< Idle until this time.
+    /// Intensity modulation: fio job files loop over runs with ramp-up and
+    /// bookkeeping gaps, so offered load cycles between duty_min and 1.0
+    /// with this period. This texture is what lets PerfCloud correlate the
+    /// victim's deviation signal with the antagonist's throughput (§III-B).
+    double duty_period_s = 31.0;
+    double duty_min = 0.45;
+  };
+
+  explicit FioRandomRead(Params p) : p_(p) {}
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime now) const override;
+  [[nodiscard]] std::string_view name() const override { return "fio-randread"; }
+
+  /// Total operations completed — the tool's headline IOPS number comes from
+  /// this divided by active time.
+  [[nodiscard]] double ops_completed() const { return ops_completed_; }
+  [[nodiscard]] double active_seconds() const { return active_seconds_; }
+  [[nodiscard]] double achieved_iops() const {
+    return active_seconds_ > 0.0 ? ops_completed_ / active_seconds_ : 0.0;
+  }
+
+ private:
+  [[nodiscard]] bool active(sim::SimTime now) const;
+  Params p_;
+  double ops_completed_ = 0.0;
+  double active_seconds_ = 0.0;
+};
+
+/// STREAM: memory-bandwidth benchmark. CPU-saturating on `threads` cores
+/// with a working set far beyond any LLC, so it both squeezes cache shares
+/// and saturates DRAM bandwidth. Runs a fixed number of sweep iterations if
+/// `iterations > 0`, else forever.
+class StreamBenchmark : public virt::GuestWorkload {
+ public:
+  struct Params {
+    int threads = 8;
+    sim::Bytes array_bytes = 48.0 * 1024 * 1024 * 1024;  ///< 3 arrays x 2G doubles.
+    double bw_per_cpu_sec = 7.0e9;  ///< Achievable DRAM traffic per core-second.
+    double cpi_base = 0.9;
+    double duration_s = -1.0;
+    double start_s = 0.0;
+    /// STREAM cycles copy/scale/add/triad kernels with different traffic
+    /// intensity, plus validation passes between sweeps: modelled as a duty
+    /// cycle on the bandwidth demand. The low phase sits *below* memory-
+    /// bandwidth saturation, so the benchmark's measured DRAM traffic (and
+    /// hence its LLC miss rate, the identification signal of §III-B)
+    /// actually tracks the cycle instead of pinning at the capacity.
+    double duty_period_s = 37.0;
+    double duty_min = 0.2;
+  };
+
+  explicit StreamBenchmark(Params p) : p_(p) {}
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime now) const override;
+  [[nodiscard]] std::string_view name() const override { return "stream"; }
+
+  /// Sustained DRAM traffic rate — STREAM's "triad" score analogue.
+  [[nodiscard]] double achieved_bw() const {
+    return active_seconds_ > 0.0 ? bw_bytes_moved_ / active_seconds_ : 0.0;
+  }
+
+ private:
+  [[nodiscard]] bool active(sim::SimTime now) const;
+  Params p_;
+  double bw_bytes_moved_ = 0.0;
+  double active_seconds_ = 0.0;
+};
+
+/// sysbench oltp (read-only MySQL): mixed moderate random I/O and CPU with a
+/// sawtooth intensity (buffer-pool warmup / checkpoint cycles) that keeps it
+/// decorrelated from a victim's contention signal.
+class SysbenchOltp : public virt::GuestWorkload {
+ public:
+  struct Params {
+    int threads = 8;
+    double duration_s = 120.0;
+    double start_s = 0.0;
+    double peak_iops = 180.0;          ///< Random reads at peak of the cycle.
+    sim::Bytes request_bytes = 16384.0;  ///< InnoDB page-sized reads.
+    double cpu_cores = 1.6;
+    double cycle_period_s = 23.0;      ///< Intensity sawtooth period.
+  };
+
+  explicit SysbenchOltp(Params p) : p_(p) {}
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime now) const override;
+  [[nodiscard]] std::string_view name() const override { return "sysbench-oltp"; }
+
+  [[nodiscard]] double transactions() const { return transactions_; }
+
+ private:
+  [[nodiscard]] bool active(sim::SimTime now) const;
+  Params p_;
+  double transactions_ = 0.0;
+};
+
+/// dd-style sequential writer (e.g. a tenant taking a backup): large-block
+/// streaming writes at a modest queue depth. Sequential I/O consumes device
+/// bandwidth rather than seeks, so it pressures throughput-bound victims
+/// differently from fio's random reads.
+class DdSequentialWriter : public virt::GuestWorkload {
+ public:
+  struct Params {
+    sim::Bytes total_bytes = 8.0 * 1024 * 1024 * 1024;  ///< Volume to copy.
+    double target_rate = 120.0e6;   ///< Offered write rate, bytes/s.
+    sim::Bytes block_size = 1.0 * 1024 * 1024;
+    double start_s = 0.0;
+  };
+
+  explicit DdSequentialWriter(Params p) : p_(p) {}
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime /*now*/) const override {
+    return bytes_written_ >= p_.total_bytes;
+  }
+  [[nodiscard]] std::string_view name() const override { return "dd-seq-write"; }
+
+  [[nodiscard]] double progress() const { return bytes_written_ / p_.total_bytes; }
+  [[nodiscard]] sim::Bytes bytes_written() const { return bytes_written_; }
+
+ private:
+  Params p_;
+  sim::Bytes bytes_written_ = 0.0;
+};
+
+/// sysbench cpu: prime computation, pure CPU, negligible cache footprint and
+/// I/O. Finishes after computing its prime budget.
+class SysbenchCpu : public virt::GuestWorkload {
+ public:
+  struct Params {
+    int threads = 4;
+    double total_instructions = 4.0e12;  ///< Prime search up to 12M, 4 threads.
+    double start_s = 0.0;
+  };
+
+  explicit SysbenchCpu(Params p) : p_(p) {}
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime /*now*/) const override {
+    return instructions_done_ >= p_.total_instructions;
+  }
+  [[nodiscard]] std::string_view name() const override { return "sysbench-cpu"; }
+
+  [[nodiscard]] double progress() const { return instructions_done_ / p_.total_instructions; }
+
+ private:
+  Params p_;
+  double instructions_done_ = 0.0;
+};
+
+}  // namespace perfcloud::wl

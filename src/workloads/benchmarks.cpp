@@ -1,0 +1,209 @@
+#include "workloads/benchmarks.hpp"
+
+#include <stdexcept>
+
+namespace perfcloud::wl {
+
+namespace {
+
+constexpr sim::Bytes kMiB = 1024.0 * 1024.0;
+constexpr sim::Bytes kRequest = 512.0 * 1024.0;
+
+PhaseSpec read_phase(sim::Bytes bytes, double instructions) {
+  return PhaseSpec{PhaseKind::kRead, instructions, bytes / kRequest, bytes};
+}
+
+PhaseSpec compute_phase(double instructions) {
+  return PhaseSpec{PhaseKind::kCompute, instructions, 0.0, 0.0};
+}
+
+PhaseSpec write_phase(sim::Bytes bytes, double instructions) {
+  return PhaseSpec{PhaseKind::kWrite, instructions, bytes / kRequest, bytes};
+}
+
+MemoryProfile mapreduce_mem() {
+  return MemoryProfile{
+      .llc_footprint = 8.0 * kMiB,
+      .bw_per_cpu_sec = 0.7e9,
+      .cpi_base = 1.0,
+      .mem_sensitivity = 1.0,
+  };
+}
+
+MemoryProfile spark_mem() {
+  // Spark reuses cached RDD partitions: bigger hot set, heavier DRAM
+  // traffic, and a steeper penalty when the LLC share shrinks.
+  return MemoryProfile{
+      .llc_footprint = 16.0 * kMiB,
+      .bw_per_cpu_sec = 2.2e9,
+      .cpi_base = 0.8,
+      .mem_sensitivity = 2.2,
+  };
+}
+
+}  // namespace
+
+JobSpec make_terasort(int maps, int reduces) {
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 1.0e9), compute_phase(2.5e9),
+                write_phase(kHdfsBlock, 0.2e9)};
+  map.mem = mapreduce_mem();
+
+  TaskSpec reduce;
+  reduce.phases = {read_phase(kHdfsBlock, 0.5e9), compute_phase(2.5e9),
+                   write_phase(kHdfsBlock, 0.3e9)};
+  reduce.mem = mapreduce_mem();
+
+  return JobSpec{"terasort", JobType::kMapReduce,
+                 {StageSpec{"map", maps, map}, StageSpec{"reduce", reduces, reduce}},
+                 0.08};
+}
+
+JobSpec make_wordcount(int maps, int reduces) {
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 0.5e9), compute_phase(3.5e9),
+                write_phase(0.01 * kHdfsBlock, 0.1e9)};
+  map.mem = mapreduce_mem();
+
+  TaskSpec reduce;
+  reduce.phases = {read_phase(6.0 * kMiB, 0.1e9), compute_phase(0.8e9),
+                   write_phase(6.0 * kMiB, 0.1e9)};
+  reduce.mem = mapreduce_mem();
+
+  return JobSpec{"wordcount", JobType::kMapReduce,
+                 {StageSpec{"map", maps, map}, StageSpec{"reduce", reduces, reduce}},
+                 0.08};
+}
+
+JobSpec make_inverted_index(int maps, int reduces) {
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 0.8e9), compute_phase(2.5e9),
+                write_phase(0.1 * kHdfsBlock, 0.15e9)};
+  map.mem = mapreduce_mem();
+
+  TaskSpec reduce;
+  reduce.phases = {read_phase(15.0 * kMiB, 0.2e9), compute_phase(1.2e9),
+                   write_phase(15.0 * kMiB, 0.15e9)};
+  reduce.mem = mapreduce_mem();
+
+  return JobSpec{"inverted-index", JobType::kMapReduce,
+                 {StageSpec{"map", maps, map}, StageSpec{"reduce", reduces, reduce}},
+                 0.08};
+}
+
+JobSpec make_grep(int maps) {
+  // PUMA grep: scan the input for a pattern; output only matching lines
+  // (~0.1 % selectivity). Map-only in PUMA's configuration.
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 0.4e9), compute_phase(0.9e9),
+                write_phase(0.001 * kHdfsBlock, 0.02e9)};
+  map.mem = mapreduce_mem();
+  return JobSpec{"grep", JobType::kMapReduce, {StageSpec{"map", maps, map}}, 0.08};
+}
+
+JobSpec make_self_join(int maps, int reduces) {
+  // PUMA self-join: candidate generation writes large intermediate data;
+  // the shuffle/reduce side dominates.
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 0.7e9), compute_phase(1.8e9),
+                write_phase(0.6 * kHdfsBlock, 0.2e9)};
+  map.mem = mapreduce_mem();
+
+  TaskSpec reduce;
+  reduce.phases = {read_phase(0.6 * kHdfsBlock, 0.4e9), compute_phase(2.2e9),
+                   write_phase(0.4 * kHdfsBlock, 0.2e9)};
+  reduce.mem = mapreduce_mem();
+
+  return JobSpec{"self-join", JobType::kMapReduce,
+                 {StageSpec{"map", maps, map}, StageSpec{"reduce", reduces, reduce}},
+                 0.08};
+}
+
+JobSpec make_histogram_movies(int maps, int reduces) {
+  // PUMA histogram-movies: bin movie ratings; tiny aggregate output.
+  TaskSpec map;
+  map.phases = {read_phase(kHdfsBlock, 0.5e9), compute_phase(1.6e9),
+                write_phase(0.002 * kHdfsBlock, 0.05e9)};
+  map.mem = mapreduce_mem();
+
+  TaskSpec reduce;
+  reduce.phases = {read_phase(1.0 * kMiB, 0.05e9), compute_phase(0.3e9),
+                   write_phase(1.0 * kMiB, 0.05e9)};
+  reduce.mem = mapreduce_mem();
+
+  return JobSpec{"histogram-movies", JobType::kMapReduce,
+                 {StageSpec{"map", maps, map}, StageSpec{"reduce", reduces, reduce}},
+                 0.08};
+}
+
+namespace {
+
+JobSpec make_spark_iterative(const std::string& name, int tasks_per_stage, int iterations,
+                             double iter_instructions, sim::Bytes shuffle_bytes) {
+  TaskSpec load;
+  load.phases = {read_phase(kHdfsBlock, 2.0e9)};
+  load.mem = spark_mem();
+
+  JobSpec spec{name, JobType::kSpark, {StageSpec{"load", tasks_per_stage, load}}, 0.08};
+  for (int i = 0; i < iterations; ++i) {
+    TaskSpec iter;
+    if (shuffle_bytes > 0.0) {
+      iter.phases = {read_phase(shuffle_bytes, 0.2e9), compute_phase(iter_instructions),
+                     write_phase(shuffle_bytes, 0.1e9)};
+    } else {
+      iter.phases = {compute_phase(iter_instructions)};
+    }
+    iter.mem = spark_mem();
+    spec.stages.push_back(StageSpec{"iter-" + std::to_string(i), tasks_per_stage, iter});
+  }
+  return spec;
+}
+
+}  // namespace
+
+JobSpec make_spark_logreg(int tasks_per_stage, int iterations) {
+  return make_spark_iterative("logreg", tasks_per_stage, iterations, 3.2e9, 8.0 * kMiB);
+}
+
+JobSpec make_spark_svm(int tasks_per_stage, int iterations) {
+  return make_spark_iterative("svm", tasks_per_stage, iterations, 2.4e9, 8.0 * kMiB);
+}
+
+JobSpec make_spark_pagerank(int tasks_per_stage, int iterations) {
+  return make_spark_iterative("pagerank", tasks_per_stage, iterations, 2.5e9, 16.0 * kMiB);
+}
+
+JobSpec make_spark_kmeans(int tasks_per_stage, int iterations) {
+  // k-means: distance computations dominate; a small centroid broadcast is
+  // exchanged between iterations.
+  return make_spark_iterative("kmeans", tasks_per_stage, iterations, 2.9e9, 2.0 * kMiB);
+}
+
+JobSpec make_benchmark(const std::string& name, int size) {
+  if (name == "terasort") return make_terasort(size, size);
+  if (name == "wordcount") return make_wordcount(size, std::max(1, size / 2));
+  if (name == "inverted-index") return make_inverted_index(size, std::max(1, size / 2));
+  if (name == "grep") return make_grep(size);
+  if (name == "self-join") return make_self_join(size, std::max(1, size / 2));
+  if (name == "histogram-movies") return make_histogram_movies(size, std::max(1, size / 4));
+  if (name == "logreg") return make_spark_logreg(size);
+  if (name == "svm") return make_spark_svm(size);
+  if (name == "pagerank") return make_spark_pagerank(size);
+  if (name == "kmeans") return make_spark_kmeans(size);
+  throw std::invalid_argument("unknown benchmark: " + name);
+}
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> names = {"terasort", "wordcount", "inverted-index",
+                                                 "pagerank", "logreg", "svm"};
+  return names;
+}
+
+const std::vector<std::string>& extended_benchmark_names() {
+  static const std::vector<std::string> names = {
+      "terasort", "wordcount", "inverted-index", "grep", "self-join", "histogram-movies",
+      "pagerank", "logreg",    "svm",            "kmeans"};
+  return names;
+}
+
+}  // namespace perfcloud::wl

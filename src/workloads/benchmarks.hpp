@@ -1,0 +1,49 @@
+// Benchmark job factories: the PUMA MapReduce suite (terasort, wordcount,
+// inverted-index) and the SparkBench suite (page-rank, logistic regression,
+// svm) used throughout the paper's evaluation.
+//
+// Work amounts are calibrated so that resource *signatures* match the real
+// benchmarks: terasort is I/O-bound end to end, wordcount is map-CPU-bound
+// with tiny output, inverted-index sits between; Spark jobs load once, then
+// iterate in memory with high bandwidth demand and LLC sensitivity (which is
+// why the paper finds Spark more vulnerable to processor-resource
+// contention, §III-A.2).
+#pragma once
+
+#include <string>
+
+#include "workloads/job.hpp"
+
+namespace perfcloud::wl {
+
+/// HDFS block size; one map task per block (paper §IV-A: default 64 MB).
+constexpr sim::Bytes kHdfsBlock = 64.0 * 1024 * 1024;
+
+// --- PUMA MapReduce (the three the paper evaluates) ---
+[[nodiscard]] JobSpec make_terasort(int maps, int reduces);
+[[nodiscard]] JobSpec make_wordcount(int maps, int reduces);
+[[nodiscard]] JobSpec make_inverted_index(int maps, int reduces);
+
+// --- PUMA MapReduce (additional suite members) ---
+[[nodiscard]] JobSpec make_grep(int maps);                       // map-only, selective output
+[[nodiscard]] JobSpec make_self_join(int maps, int reduces);     // shuffle-heavy
+[[nodiscard]] JobSpec make_histogram_movies(int maps, int reduces);
+
+// --- SparkBench (the three the paper evaluates) ---
+[[nodiscard]] JobSpec make_spark_logreg(int tasks_per_stage, int iterations = 5);
+[[nodiscard]] JobSpec make_spark_svm(int tasks_per_stage, int iterations = 7);
+[[nodiscard]] JobSpec make_spark_pagerank(int tasks_per_stage, int iterations = 5);
+
+// --- SparkBench (additional suite member) ---
+[[nodiscard]] JobSpec make_spark_kmeans(int tasks_per_stage, int iterations = 6);
+
+/// Factory by benchmark name. `size` is maps for MapReduce and
+/// tasks-per-stage for Spark. Throws on unknown names.
+[[nodiscard]] JobSpec make_benchmark(const std::string& name, int size);
+
+/// The six benchmarks of the paper's evaluation, PUMA first.
+[[nodiscard]] const std::vector<std::string>& benchmark_names();
+/// The full suite including the additional PUMA/SparkBench members.
+[[nodiscard]] const std::vector<std::string>& extended_benchmark_names();
+
+}  // namespace perfcloud::wl

@@ -1,0 +1,67 @@
+#include "workloads/job.hpp"
+
+namespace perfcloud::wl {
+
+int TaskState::running_attempts() const {
+  int n = 0;
+  for (const AttemptRecord& a : attempts) {
+    if (a.running) ++n;
+  }
+  return n;
+}
+
+namespace {
+TaskSpec jittered(const TaskSpec& tmpl, const JobSpec& job, sim::Rng& rng) {
+  TaskSpec t = tmpl;
+  double scale = job.task_jitter_sigma > 0.0 ? rng.lognormal_median(1.0, job.task_jitter_sigma)
+                                             : 1.0;
+  if (job.skew_alpha > 0.0) {
+    scale *= rng.pareto(1.0, job.skew_max, job.skew_alpha);
+  }
+  for (PhaseSpec& p : t.phases) {
+    p.instructions *= scale;
+    p.io_bytes *= scale;
+    p.io_ops *= scale;
+  }
+  return t;
+}
+}  // namespace
+
+Job::Job(JobId id, JobSpec spec, sim::SimTime submitted, sim::Rng& rng)
+    : id_(id), spec_(std::move(spec)), submitted_(submitted) {
+  stages_.reserve(spec_.stages.size());
+  for (const StageSpec& s : spec_.stages) {
+    std::vector<TaskState> tasks;
+    tasks.reserve(static_cast<std::size_t>(s.num_tasks));
+    for (int i = 0; i < s.num_tasks; ++i) {
+      tasks.push_back(TaskState{jittered(s.task, spec_, rng), {}, false, {}});
+    }
+    stages_.push_back(std::move(tasks));
+  }
+}
+
+void Job::advance_barrier(sim::SimTime now) {
+  while (!finished() && current_stage_ < stages_.size()) {
+    bool all_done = true;
+    for (const TaskState& t : stages_[current_stage_]) {
+      if (!t.completed) {
+        all_done = false;
+        break;
+      }
+    }
+    if (!all_done) return;
+    ++current_stage_;
+  }
+  if (!finished() && current_stage_ >= stages_.size()) {
+    completed_ = true;
+    finish_time_ = now;
+  }
+}
+
+void Job::mark_killed(sim::SimTime now) {
+  if (finished()) return;
+  killed_ = true;
+  finish_time_ = now;
+}
+
+}  // namespace perfcloud::wl

@@ -1,0 +1,106 @@
+// Job model: a barrier-synchronized sequence of task stages.
+//
+// MapReduce jobs have two stages (map, reduce); Spark jobs have one stage
+// per computation stage (input scan plus iterations). A stage starts only
+// when the previous stage has fully completed, which is where stragglers
+// hurt: one slow task holds the barrier for the whole job.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+#include "workloads/task.hpp"
+
+namespace perfcloud::wl {
+
+using JobId = int;
+
+enum class JobType { kMapReduce, kSpark };
+
+struct StageSpec {
+  std::string name;
+  int num_tasks = 1;
+  TaskSpec task;  ///< Template; per-task work gets small lognormal jitter.
+};
+
+struct JobSpec {
+  std::string name;
+  JobType type = JobType::kMapReduce;
+  std::vector<StageSpec> stages;
+  /// Lognormal sigma applied to each task instance's work amounts —
+  /// real task sizes vary slightly even on an idle cluster.
+  double task_jitter_sigma = 0.08;
+  /// Data skew: when > 0, each task's work is additionally multiplied by a
+  /// bounded-Pareto draw from [1, skew_max] with this tail index. Real
+  /// inputs (the paper uses Wikipedia text) are skewed, and data-skew
+  /// stragglers are the kind speculative re-execution CANNOT fix — the
+  /// copy processes the same oversized partition.
+  double skew_alpha = 0.0;
+  double skew_max = 8.0;
+};
+
+/// One placement of one task attempt (original or speculative copy).
+struct AttemptRecord {
+  std::unique_ptr<TaskAttempt> attempt;
+  int worker_index = -1;  ///< Index into the framework's worker list.
+  sim::SimTime start{};
+  sim::SimTime end{};
+  bool running = false;
+  bool finished_ok = false;  ///< This attempt won the task.
+  bool killed = false;       ///< Lost to a sibling, or the job was killed.
+  bool speculative = false;
+};
+
+struct TaskState {
+  TaskSpec spec;  ///< Jittered instance of the stage's template.
+  std::vector<AttemptRecord> attempts;
+  bool completed = false;
+  sim::SimTime completed_at{};
+
+  [[nodiscard]] int running_attempts() const;
+  [[nodiscard]] bool schedulable() const { return !completed && running_attempts() == 0; }
+};
+
+class Job {
+ public:
+  Job(JobId id, JobSpec spec, sim::SimTime submitted, sim::Rng& rng);
+
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+  [[nodiscard]] sim::SimTime submitted() const { return submitted_; }
+  [[nodiscard]] std::size_t current_stage() const { return current_stage_; }
+  [[nodiscard]] std::size_t stage_count() const { return stages_.size(); }
+  [[nodiscard]] std::vector<TaskState>& stage(std::size_t s) { return stages_.at(s); }
+  [[nodiscard]] const std::vector<TaskState>& stage(std::size_t s) const { return stages_.at(s); }
+
+  [[nodiscard]] bool completed() const { return completed_; }
+  [[nodiscard]] bool killed() const { return killed_; }
+  [[nodiscard]] bool finished() const { return completed_ || killed_; }
+  [[nodiscard]] sim::SimTime finish_time() const { return finish_time_; }
+  /// Job completion time; only meaningful once completed().
+  [[nodiscard]] double jct() const { return finish_time_ - submitted_; }
+
+  /// Advance the stage barrier: if every task of the current stage is done,
+  /// move to the next stage; if it was the last, mark the job completed.
+  void advance_barrier(sim::SimTime now);
+  void mark_killed(sim::SimTime now);
+
+  /// Dolly bookkeeping: jobs submitted as clones of the same logical job
+  /// share a clone group; -1 means not cloned.
+  int clone_group = -1;
+
+ private:
+  JobId id_;
+  JobSpec spec_;
+  sim::SimTime submitted_;
+  std::vector<std::vector<TaskState>> stages_;
+  std::size_t current_stage_ = 0;
+  bool completed_ = false;
+  bool killed_ = false;
+  sim::SimTime finish_time_{};
+};
+
+}  // namespace perfcloud::wl

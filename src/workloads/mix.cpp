@@ -1,0 +1,40 @@
+#include "workloads/mix.hpp"
+
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::wl {
+
+namespace {
+
+int draw_size(const MixParams& p, sim::Rng& rng) {
+  if (rng.bernoulli(p.small_fraction)) {
+    return static_cast<int>(rng.uniform_int(p.small_min, p.small_cutoff - 1));
+  }
+  return static_cast<int>(rng.uniform_int(p.small_cutoff, p.large_max));
+}
+
+std::vector<MixEntry> make_mix(const MixParams& p, sim::Rng& rng,
+                               const std::vector<std::string>& names) {
+  std::vector<MixEntry> mix;
+  mix.reserve(static_cast<std::size_t>(p.num_jobs));
+  double t = 0.0;
+  for (int i = 0; i < p.num_jobs; ++i) {
+    const std::string& name = names[static_cast<std::size_t>(i) % names.size()];
+    const int size = draw_size(p, rng);
+    mix.push_back(MixEntry{make_benchmark(name, size), t});
+    t += rng.exponential(p.mean_interarrival_s);
+  }
+  return mix;
+}
+
+}  // namespace
+
+std::vector<MixEntry> make_mapreduce_mix(const MixParams& p, sim::Rng& rng) {
+  return make_mix(p, rng, {"terasort", "wordcount", "inverted-index"});
+}
+
+std::vector<MixEntry> make_spark_mix(const MixParams& p, sim::Rng& rng) {
+  return make_mix(p, rng, {"pagerank", "logreg", "svm"});
+}
+
+}  // namespace perfcloud::wl

@@ -1,0 +1,83 @@
+#include "workloads/task.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace perfcloud::wl {
+
+double total_work(const TaskSpec& spec) {
+  double w = 0.0;
+  for (const PhaseSpec& p : spec.phases) {
+    w += p.instructions + p.io_bytes * kInstrPerIoByte;
+  }
+  return w;
+}
+
+TaskAttempt::TaskAttempt(TaskSpec spec, sim::SimTime started)
+    : spec_(std::move(spec)), started_(started), work_total_(std::max(total_work(spec_), 1.0)) {}
+
+hw::TenantDemand TaskAttempt::demand(double dt) const {
+  hw::TenantDemand d{};
+  if (done()) return d;
+  const PhaseSpec& p = spec_.phases[phase_];
+
+  if (phase_instr_done_ < p.instructions) {
+    d.cpu_core_seconds = dt;  // one slot = one core
+  }
+  const sim::Bytes bytes_left = p.io_bytes - phase_bytes_done_;
+  if (bytes_left > 0.0) {
+    const sim::Bytes issue = std::min(bytes_left, spec_.max_io_rate * dt);
+    d.io_bytes = issue;
+    d.io_ops = p.io_bytes > 0.0
+                   ? issue / std::max(spec_.io_request_bytes, 1.0)
+                   : 0.0;
+  } else if (p.io_ops - phase_ops_done_ > 0.0) {
+    d.io_ops = std::min(p.io_ops - phase_ops_done_, spec_.max_io_rate * dt / 4096.0);
+  }
+
+  d.llc_footprint = spec_.mem.llc_footprint;
+  d.mem_bw_per_cpu_sec = spec_.mem.bw_per_cpu_sec;
+  d.cpi_base = spec_.mem.cpi_base;
+  d.mem_sensitivity = spec_.mem.mem_sensitivity;
+  return d;
+}
+
+void TaskAttempt::advance(double instructions, double io_ops, sim::Bytes io_bytes) {
+  if (done()) return;
+  const PhaseSpec& p = spec_.phases[phase_];
+
+  const double instr_used = std::min(instructions, p.instructions - phase_instr_done_);
+  phase_instr_done_ += instr_used;
+  const sim::Bytes bytes_used = std::min(io_bytes, p.io_bytes - phase_bytes_done_);
+  phase_bytes_done_ += bytes_used;
+  const double ops_used = std::min(io_ops, std::max(p.io_ops - phase_ops_done_, 0.0));
+  phase_ops_done_ += ops_used;
+
+  work_done_ += instr_used + bytes_used * kInstrPerIoByte;
+  maybe_advance_phase();
+}
+
+void TaskAttempt::maybe_advance_phase() {
+  while (!done()) {
+    const PhaseSpec& p = spec_.phases[phase_];
+    const bool instr_ok = phase_instr_done_ >= p.instructions - 1e-6;
+    const bool bytes_ok = phase_bytes_done_ >= p.io_bytes - 1e-6;
+    const bool ops_ok = phase_ops_done_ >= p.io_ops - 1e-6;
+    if (!(instr_ok && bytes_ok && ops_ok)) return;
+    ++phase_;
+    phase_instr_done_ = 0.0;
+    phase_ops_done_ = 0.0;
+    phase_bytes_done_ = 0.0;
+  }
+}
+
+double TaskAttempt::progress() const {
+  return std::clamp(work_done_ / work_total_, 0.0, 1.0);
+}
+
+double TaskAttempt::progress_rate(sim::SimTime now) const {
+  const double elapsed = now - started_;
+  return elapsed > 0.0 ? progress() / elapsed : 0.0;
+}
+
+}  // namespace perfcloud::wl

@@ -1,0 +1,88 @@
+// Task model for scale-out data-processing frameworks.
+//
+// A task runs phases sequentially (read -> compute -> write); each phase
+// carries an instruction budget and an I/O budget that must both complete.
+// This reproduces the structure PerfCloud's detector relies on: evenly-sized
+// tasks whose I/O and CPU behaviour should look alike across worker VMs
+// unless something on the host interferes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/tenant.hpp"
+#include "sim/types.hpp"
+
+namespace perfcloud::wl {
+
+enum class PhaseKind { kRead, kCompute, kWrite };
+
+struct PhaseSpec {
+  PhaseKind kind = PhaseKind::kCompute;
+  double instructions = 0.0;
+  double io_ops = 0.0;
+  sim::Bytes io_bytes = 0.0;
+};
+
+/// Memory-subsystem signature of a task while it runs.
+struct MemoryProfile {
+  sim::Bytes llc_footprint = 6.0 * 1024 * 1024;
+  double bw_per_cpu_sec = 0.6e9;
+  double cpi_base = 1.0;
+  double mem_sensitivity = 1.0;
+};
+
+struct TaskSpec {
+  std::vector<PhaseSpec> phases;
+  MemoryProfile mem;
+  sim::Bytes io_request_bytes = 512.0 * 1024;  ///< Request granularity.
+  /// Per-task issue limit, bytes/s — a data-processing task is a shallow-
+  /// queue synchronous reader whose parse/deserialize path bounds how fast
+  /// it can consume input.
+  double max_io_rate = 40.0e6;
+};
+
+/// For progress accounting, one byte of I/O counts as this many
+/// instructions. Any consistent weighting works; LATE only compares
+/// progress *rates* between peer tasks.
+constexpr double kInstrPerIoByte = 25.0;
+
+[[nodiscard]] double total_work(const TaskSpec& spec);
+
+/// One execution attempt of one task on one worker slot. Multiple attempts
+/// of the same task exist under speculative execution; the first to finish
+/// wins.
+class TaskAttempt {
+ public:
+  TaskAttempt(TaskSpec spec, sim::SimTime started);
+
+  /// Resource demand if this attempt ran alone on one core for `dt`.
+  [[nodiscard]] hw::TenantDemand demand(double dt) const;
+
+  /// Consume granted work. The worker splits its aggregate grant across its
+  /// attempts; `instructions` and `io_bytes`/`io_ops` are this attempt's
+  /// portion.
+  void advance(double instructions, double io_ops, sim::Bytes io_bytes);
+
+  [[nodiscard]] bool done() const { return phase_ >= spec_.phases.size(); }
+  /// Fraction of total work completed, in [0, 1].
+  [[nodiscard]] double progress() const;
+  /// Work completed per second since start; 0 before any time has passed.
+  [[nodiscard]] double progress_rate(sim::SimTime now) const;
+  [[nodiscard]] sim::SimTime started() const { return started_; }
+  [[nodiscard]] const TaskSpec& spec() const { return spec_; }
+
+ private:
+  TaskSpec spec_;
+  sim::SimTime started_;
+  std::size_t phase_ = 0;
+  double phase_instr_done_ = 0.0;
+  double phase_ops_done_ = 0.0;
+  sim::Bytes phase_bytes_done_ = 0.0;
+  double work_done_ = 0.0;
+  double work_total_ = 0.0;
+
+  void maybe_advance_phase();
+};
+
+}  // namespace perfcloud::wl

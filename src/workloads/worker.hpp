@@ -1,0 +1,43 @@
+// Worker-node guest: the Hadoop/Spark worker daemon running inside one VM.
+//
+// Aggregates the demand of the task attempts currently scheduled on its
+// slots and splits the host's grant back across them. Also emits a small
+// daemon baseline (heartbeats, logging) so the VM is never entirely dark.
+#pragma once
+
+#include <vector>
+
+#include "virt/guest.hpp"
+#include "workloads/task.hpp"
+
+namespace perfcloud::wl {
+
+class ScaleOutWorker : public virt::GuestWorkload {
+ public:
+  explicit ScaleOutWorker(int slots) : slots_(slots) {}
+
+  [[nodiscard]] int slots() const { return slots_; }
+  [[nodiscard]] int free_slots() const {
+    return slots_ - static_cast<int>(attempts_.size());
+  }
+  [[nodiscard]] const std::vector<TaskAttempt*>& attempts() const { return attempts_; }
+
+  /// Place an attempt on a free slot. The framework retains ownership and
+  /// must remove the attempt when it completes or is killed.
+  void place(TaskAttempt* attempt);
+  void remove(TaskAttempt* attempt);
+
+  hw::TenantDemand demand(sim::SimTime now, double dt) override;
+  void apply(const hw::TenantGrant& grant, sim::SimTime now, double dt) override;
+  [[nodiscard]] bool finished(sim::SimTime /*now*/) const override { return false; }
+  [[nodiscard]] std::string_view name() const override { return "scaleout-worker"; }
+
+ private:
+  int slots_;
+  std::vector<TaskAttempt*> attempts_;
+  // Demand shares remembered between demand() and apply() of the same tick.
+  std::vector<double> cpu_share_;
+  std::vector<double> io_share_;
+};
+
+}  // namespace perfcloud::wl

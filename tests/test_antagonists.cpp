@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "workloads/antagonists.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+TEST(FioRandomRead, DemandShape) {
+  FioRandomRead fio({.issue_iops = 1000.0, .block_size = 4096.0, .duty_period_s = 0.0});
+  const hw::TenantDemand d = fio.demand(sim::SimTime(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.io_ops, 100.0);
+  EXPECT_DOUBLE_EQ(d.io_bytes, 100.0 * 4096.0);
+  EXPECT_GT(d.io_weight, 1.0);  // deep queue
+  EXPECT_LT(d.mem_bw_per_cpu_sec, 1e9);  // no memory pressure
+}
+
+TEST(FioRandomRead, DutyCycleModulatesLoad) {
+  FioRandomRead fio({.issue_iops = 1000.0, .duty_period_s = 30.0, .duty_min = 0.5});
+  const double early = fio.demand(sim::SimTime(0.5), 0.1).io_ops;
+  const double late = fio.demand(sim::SimTime(29.5), 0.1).io_ops;
+  EXPECT_GT(late, 1.5 * early);
+}
+
+TEST(FioRandomRead, RespectsStartTime) {
+  FioRandomRead fio({.start_s = 10.0});
+  EXPECT_DOUBLE_EQ(fio.demand(sim::SimTime(5.0), 0.1).io_ops, 0.0);
+  EXPECT_GT(fio.demand(sim::SimTime(10.0), 0.1).io_ops, 0.0);
+}
+
+TEST(FioRandomRead, FinishesAfterDuration) {
+  FioRandomRead fio({.duration_s = 30.0});
+  EXPECT_FALSE(fio.finished(sim::SimTime(29.0)));
+  EXPECT_TRUE(fio.finished(sim::SimTime(30.0)));
+}
+
+TEST(FioRandomRead, OpenEndedNeverFinishes) {
+  FioRandomRead fio({});
+  EXPECT_FALSE(fio.finished(sim::SimTime(1e9)));
+}
+
+TEST(FioRandomRead, TracksAchievedIops) {
+  FioRandomRead fio({.issue_iops = 1000.0});
+  hw::TenantGrant g;
+  g.io_ops = 50.0;
+  for (int t = 1; t <= 10; ++t) fio.apply(g, sim::SimTime(t * 0.1), 0.1);
+  EXPECT_NEAR(fio.achieved_iops(), 500.0, 1e-6);
+  EXPECT_NEAR(fio.ops_completed(), 500.0, 1e-6);
+}
+
+TEST(StreamBenchmark, DemandShape) {
+  StreamBenchmark st({.threads = 8, .duty_period_s = 0.0});
+  const hw::TenantDemand d = st.demand(sim::SimTime(0.0), 0.1);
+  EXPECT_DOUBLE_EQ(d.cpu_core_seconds, 0.8);
+  EXPECT_GT(d.llc_footprint, 1e9);  // way beyond any LLC
+  EXPECT_GT(d.mem_bw_per_cpu_sec, 5e9);
+  EXPECT_DOUBLE_EQ(d.io_ops, 0.0);
+}
+
+TEST(StreamBenchmark, DutyCycleModulatesPressure) {
+  StreamBenchmark st({.threads = 8, .duty_period_s = 30.0, .duty_min = 0.25});
+  const hw::TenantDemand lo = st.demand(sim::SimTime(0.5), 0.1);
+  const hw::TenantDemand hi = st.demand(sim::SimTime(29.5), 0.1);
+  EXPECT_GT(hi.mem_bw_per_cpu_sec, 2.0 * lo.mem_bw_per_cpu_sec);
+  EXPECT_GT(hi.llc_footprint, 2.0 * lo.llc_footprint);
+}
+
+TEST(StreamBenchmark, ThreadCountScalesCpu) {
+  StreamBenchmark st8({.threads = 8});
+  StreamBenchmark st16({.threads = 16});
+  EXPECT_DOUBLE_EQ(st16.demand(sim::SimTime(0.0), 1.0).cpu_core_seconds,
+                   2.0 * st8.demand(sim::SimTime(0.0), 1.0).cpu_core_seconds);
+}
+
+TEST(StreamBenchmark, TracksBandwidth) {
+  StreamBenchmark st({});
+  hw::TenantGrant g;
+  g.mem_bw_bytes = 1e9;
+  for (int t = 1; t <= 10; ++t) st.apply(g, sim::SimTime(t * 1.0), 1.0);
+  EXPECT_NEAR(st.achieved_bw(), 1e9, 1e-3);
+}
+
+TEST(SysbenchOltp, FinishesAfterDuration) {
+  SysbenchOltp oltp({.duration_s = 120.0});
+  EXPECT_FALSE(oltp.finished(sim::SimTime(119.0)));
+  EXPECT_TRUE(oltp.finished(sim::SimTime(120.0)));
+  EXPECT_DOUBLE_EQ(oltp.demand(sim::SimTime(121.0), 0.1).io_ops, 0.0);
+}
+
+TEST(SysbenchOltp, IntensityVariesOverCycle) {
+  SysbenchOltp oltp({.cycle_period_s = 20.0});
+  const double low = oltp.demand(sim::SimTime(0.1), 0.1).cpu_core_seconds;
+  const double high = oltp.demand(sim::SimTime(19.9), 0.1).cpu_core_seconds;
+  EXPECT_GT(high, 2.0 * low);
+}
+
+TEST(SysbenchOltp, BufferPoolWarmupDecaysIo) {
+  SysbenchOltp oltp({.duration_s = 300.0, .cycle_period_s = 20.0});
+  // Compare the same sawtooth phase early vs late: reads die down once the
+  // buffer pool is warm.
+  const double early = oltp.demand(sim::SimTime(10.0), 0.1).io_ops;
+  const double late = oltp.demand(sim::SimTime(210.0), 0.1).io_ops;
+  EXPECT_LT(late, 0.5 * early);
+  EXPECT_GT(late, 0.0);
+}
+
+TEST(SysbenchOltp, CountsTransactions) {
+  SysbenchOltp oltp({});
+  hw::TenantGrant g;
+  g.io_ops = 8.0;
+  oltp.apply(g, sim::SimTime(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(oltp.transactions(), 2.0);
+}
+
+TEST(SysbenchCpu, PureCpuProfile) {
+  SysbenchCpu sb({.threads = 4});
+  const hw::TenantDemand d = sb.demand(sim::SimTime(0.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cpu_core_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(d.io_ops, 0.0);
+  EXPECT_LT(d.llc_footprint, 16.0 * 1024 * 1024);
+}
+
+TEST(SysbenchCpu, FinishesAfterInstructionBudget) {
+  SysbenchCpu sb({.total_instructions = 1000.0});
+  hw::TenantGrant g;
+  g.instructions = 600.0;
+  sb.apply(g, sim::SimTime(1.0), 1.0);
+  EXPECT_FALSE(sb.finished(sim::SimTime(1.0)));
+  EXPECT_NEAR(sb.progress(), 0.6, 1e-9);
+  sb.apply(g, sim::SimTime(2.0), 1.0);
+  EXPECT_TRUE(sb.finished(sim::SimTime(2.0)));
+  EXPECT_DOUBLE_EQ(sb.progress(), 1.0);
+  EXPECT_DOUBLE_EQ(sb.demand(sim::SimTime(3.0), 1.0).cpu_core_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "baselines/dolly.hpp"
+#include "baselines/late.hpp"
+#include "baselines/scheme.hpp"
+#include "baselines/static_cap.hpp"
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::base {
+namespace {
+
+TEST(Scheme, NamesAreUnique) {
+  const Scheme all[] = {Scheme::kDefault, Scheme::kStatic,  Scheme::kLate,     Scheme::kDolly2,
+                        Scheme::kDolly4,  Scheme::kDolly6, Scheme::kPerfCloud};
+  std::vector<std::string> names;
+  for (Scheme s : all) names.push_back(to_string(s));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Scheme, DollyCloneCounts) {
+  EXPECT_EQ(dolly_clones(Scheme::kDolly2), 2);
+  EXPECT_EQ(dolly_clones(Scheme::kDolly4), 4);
+  EXPECT_EQ(dolly_clones(Scheme::kDolly6), 6);
+  EXPECT_EQ(dolly_clones(Scheme::kLate), 1);
+}
+
+TEST(DollySubmitter, SubmitsRequestedClones) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  exp::Cluster c = exp::make_cluster(p);
+  DollySubmitter dolly(*c.framework, 4);
+  EXPECT_EQ(dolly.clones(), 4);
+  const auto ids = dolly.submit(wl::make_wordcount(3, 1));
+  EXPECT_EQ(ids.size(), 4u);
+  exp::run_until_done(c, 600.0);
+  int completed = 0;
+  for (const wl::JobId id : ids) {
+    completed += c.framework->find_job(id)->completed() ? 1 : 0;
+  }
+  EXPECT_EQ(completed, 1);
+}
+
+TEST(StaticCaps, AppliedImmediately) {
+  exp::ClusterParams p;
+  p.workers = 2;
+  exp::Cluster c = exp::make_cluster(p);
+  const int fio = exp::add_fio(c, "host-0");
+  apply_static_caps(*c.cloud, "host-0",
+                    {StaticCap{.vm_id = fio, .io_bytes_per_sec = 1.0e5, .cpu_cores = 0.5}});
+  EXPECT_DOUBLE_EQ(c.vm(fio).cgroup().blkio_throttle_bps(), 1.0e5);
+  EXPECT_DOUBLE_EQ(c.vm(fio).cgroup().cpu_quota_cores(), 0.5);
+}
+
+TEST(StaticCaps, NoCapDimensionsUntouched) {
+  exp::ClusterParams p;
+  p.workers = 2;
+  exp::Cluster c = exp::make_cluster(p);
+  const int fio = exp::add_fio(c, "host-0");
+  apply_static_caps(*c.cloud, "host-0", {StaticCap{.vm_id = fio, .io_bytes_per_sec = 5.0e5}});
+  EXPECT_DOUBLE_EQ(c.vm(fio).cgroup().blkio_throttle_bps(), 5.0e5);
+  EXPECT_EQ(c.vm(fio).cgroup().cpu_quota_cores(), hw::kNoCap);
+}
+
+// --- LATE ---
+
+exp::Cluster straggler_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = seed;
+  exp::Cluster c = exp::make_cluster(p);
+  // An unthrottled fio on the host makes tasks on it stragglers... but with
+  // one host everything is slow; instead, a STREAM VM with a strong placement
+  // asymmetry slows some VMs more than others, creating stragglers.
+  exp::add_stream(c, "host-0", wl::StreamBenchmark::Params{.threads = 16});
+  return c;
+}
+
+TEST(Late, SpeculatesOnSlowTasks) {
+  exp::Cluster c = straggler_cluster(3);
+  const int total_slots = 12;
+  c.framework->set_speculator(std::make_unique<LateSpeculator>(
+      LateSpeculator::Params{.speculative_cap = 0.25, .min_runtime_s = 5.0}, total_slots));
+  const wl::JobId id = c.framework->submit(wl::make_spark_logreg(10, 5));
+  exp::run_until_done(c, 1200.0);
+  const wl::Job* job = c.framework->find_job(id);
+  ASSERT_TRUE(job->completed());
+  int speculative = 0;
+  for (std::size_t s = 0; s < job->stage_count(); ++s) {
+    for (const wl::TaskState& t : job->stage(s)) {
+      for (const wl::AttemptRecord& a : t.attempts) speculative += a.speculative ? 1 : 0;
+    }
+  }
+  EXPECT_GT(speculative, 0);
+  EXPECT_LT(c.framework->utilization_efficiency(), 1.0);
+}
+
+TEST(Late, RespectsSpeculativeCap) {
+  exp::Cluster c = straggler_cluster(5);
+  // Cap of 0: LATE must never speculate.
+  c.framework->set_speculator(std::make_unique<LateSpeculator>(
+      LateSpeculator::Params{.speculative_cap = 0.0, .min_runtime_s = 1.0}, 12));
+  const wl::JobId id = c.framework->submit(wl::make_terasort(8, 8));
+  exp::run_until_done(c, 1200.0);
+  const wl::Job* job = c.framework->find_job(id);
+  for (std::size_t s = 0; s < job->stage_count(); ++s) {
+    for (const wl::TaskState& t : job->stage(s)) {
+      for (const wl::AttemptRecord& a : t.attempts) EXPECT_FALSE(a.speculative);
+    }
+  }
+  EXPECT_DOUBLE_EQ(c.framework->utilization_efficiency(), 1.0);
+}
+
+TEST(Late, YoungTasksAreNotJudged) {
+  LateSpeculator late(LateSpeculator::Params{.min_runtime_s = 1e9}, 12);
+  exp::ClusterParams p;
+  p.workers = 4;
+  exp::Cluster c = exp::make_cluster(p);
+  c.framework->submit(wl::make_terasort(4, 2));
+  exp::run_for(c, 5.0);
+  std::vector<const wl::Job*> jobs;
+  for (const auto& j : c.framework->jobs()) jobs.push_back(j.get());
+  EXPECT_TRUE(late.pick(jobs, c.engine->now(), 4).empty());
+}
+
+TEST(Late, EmptyJobListIsSafe) {
+  LateSpeculator late(LateSpeculator::Params{}, 12);
+  EXPECT_TRUE(late.pick({}, sim::SimTime(0.0), 4).empty());
+}
+
+}  // namespace
+}  // namespace perfcloud::base

@@ -1,0 +1,106 @@
+// The extended PUMA/SparkBench suite, plus property sweeps over every
+// benchmark: all of them must build valid specs, run to completion on an
+// idle cluster, and scale sensibly with input size.
+#include <gtest/gtest.h>
+
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+TEST(ExtendedBenchmarks, SuiteContainsPaperSixPlusExtras) {
+  const auto& paper = benchmark_names();
+  const auto& all = extended_benchmark_names();
+  EXPECT_EQ(paper.size(), 6u);
+  EXPECT_EQ(all.size(), 10u);
+  for (const std::string& name : paper) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+}
+
+TEST(ExtendedBenchmarks, GrepIsMapOnlyAndSelective) {
+  const JobSpec g = make_grep(8);
+  EXPECT_EQ(g.stages.size(), 1u);
+  sim::Bytes written = 0.0;
+  sim::Bytes read = 0.0;
+  for (const PhaseSpec& p : g.stages[0].task.phases) {
+    if (p.kind == PhaseKind::kWrite) written += p.io_bytes;
+    if (p.kind == PhaseKind::kRead) read += p.io_bytes;
+  }
+  EXPECT_LT(written, 0.01 * read);
+}
+
+TEST(ExtendedBenchmarks, SelfJoinIsShuffleHeavy) {
+  const JobSpec sj = make_self_join(8, 4);
+  sim::Bytes map_out = 0.0;
+  for (const PhaseSpec& p : sj.stages[0].task.phases) {
+    if (p.kind == PhaseKind::kWrite) map_out += p.io_bytes;
+  }
+  EXPECT_GT(map_out, 0.4 * kHdfsBlock);  // large intermediate data
+}
+
+TEST(ExtendedBenchmarks, KmeansIterationsAreComputeDominated) {
+  const JobSpec km = make_spark_kmeans(8, 4);
+  EXPECT_EQ(km.stages.size(), 5u);
+  const TaskSpec& iter = km.stages[1].task;
+  double instr = 0.0;
+  sim::Bytes io = 0.0;
+  for (const PhaseSpec& p : iter.phases) {
+    instr += p.instructions;
+    io += p.io_bytes;
+  }
+  EXPECT_GT(instr, 2.5e9);
+  EXPECT_LT(io, 8.0 * 1024 * 1024);
+}
+
+// Property sweep: every benchmark in the extended suite completes on an
+// idle cluster, within a sane time, deterministically.
+class EveryBenchmark : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryBenchmark, CompletesOnIdleCluster) {
+  exp::ClusterParams p;
+  p.workers = 8;
+  p.seed = 11;
+  exp::Cluster c = exp::make_cluster(p);
+  const double jct = exp::run_job(c, make_benchmark(GetParam(), 8));
+  EXPECT_GT(jct, 0.0);
+  EXPECT_LT(jct, 300.0);
+}
+
+TEST_P(EveryBenchmark, DeterministicPerSeed) {
+  auto run = [&] {
+    exp::ClusterParams p;
+    p.workers = 6;
+    p.seed = 21;
+    exp::Cluster c = exp::make_cluster(p);
+    return exp::run_job(c, make_benchmark(GetParam(), 6));
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST_P(EveryBenchmark, BiggerInputsTakeAtLeastAsLong) {
+  auto run = [&](int size) {
+    exp::ClusterParams p;
+    p.workers = 6;
+    p.seed = 31;
+    exp::Cluster c = exp::make_cluster(p);
+    return exp::run_job(c, make_benchmark(GetParam(), size));
+  };
+  const double small = run(4);
+  const double large = run(24);
+  EXPECT_GE(large, small);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuiteMembers, EveryBenchmark,
+                         ::testing::ValuesIn(extended_benchmark_names()),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& ch : name) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace perfcloud::wl

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cubic.hpp"
+
+namespace perfcloud::core {
+namespace {
+
+PerfCloudConfig paper_cfg() { return PerfCloudConfig{}; }  // beta .8, gamma .005
+
+TEST(Cubic, InitialCapEqualsBaseline) {
+  CubicController c(paper_cfg(), 2.0e6);
+  EXPECT_DOUBLE_EQ(c.cap(), 1.0);
+  EXPECT_DOUBLE_EQ(c.cap_absolute(), 2.0e6);
+  EXPECT_DOUBLE_EQ(c.baseline(), 2.0e6);
+  EXPECT_FALSE(c.ever_decreased());
+}
+
+TEST(Cubic, MultiplicativeDecrease) {
+  CubicController c(paper_cfg(), 1.0);
+  c.step(/*contended=*/true);
+  EXPECT_NEAR(c.cap(), 0.2, 1e-12);  // (1 - 0.8) * 1.0
+  EXPECT_DOUBLE_EQ(c.cap_max(), 1.0);
+  EXPECT_TRUE(c.ever_decreased());
+  EXPECT_EQ(c.intervals_since_decrease(), 0);
+}
+
+TEST(Cubic, RepeatedDecreaseBottomsOutAtMinCap) {
+  PerfCloudConfig cfg = paper_cfg();
+  cfg.min_cap_fraction = 0.05;
+  CubicController c(cfg, 1.0);
+  for (int i = 0; i < 10; ++i) c.step(true);
+  EXPECT_DOUBLE_EQ(c.cap(), 0.05);
+}
+
+TEST(Cubic, CurvePassesThroughPostDecreasePoint) {
+  // By construction K = cbrt(beta*C_max/gamma) makes the cubic equal
+  // (1-beta)*C_max at T=0, so recovery is continuous.
+  const PerfCloudConfig cfg = paper_cfg();
+  const double k = std::cbrt(cfg.beta * 1.0 / cfg.gamma);
+  const double at_zero = cfg.gamma * std::pow(0.0 - k, 3.0) + 1.0;
+  EXPECT_NEAR(at_zero, 1.0 - cfg.beta, 1e-9);
+}
+
+TEST(Cubic, RecoveryReachesBaselineNearK) {
+  // With beta=.8, gamma=.005, C_max=1: K = cbrt(160) ~ 5.43 intervals, i.e.
+  // ~27 s at the 5 s control period — the paper's Fig 10 recovery window.
+  CubicController c(paper_cfg(), 1.0);
+  c.step(true);
+  int intervals = 0;
+  while (c.cap() < 0.999 && intervals < 100) {
+    c.step(false);
+    ++intervals;
+  }
+  EXPECT_GE(intervals, 4);
+  EXPECT_LE(intervals, 7);
+}
+
+TEST(Cubic, ThreeRegionsOfGrowth) {
+  CubicController c(paper_cfg(), 1.0);
+  c.step(true);  // cap 0.2, cap_max 1.0
+  std::vector<double> caps;
+  for (int i = 0; i < 12; ++i) caps.push_back(c.step(false));
+
+  // Region 1 (initial growth): big early steps.
+  const double early_step = caps[1] - caps[0];
+  // Region 2 (plateau around cap_max): small steps near K.
+  const double plateau_step = caps[5] - caps[4];
+  // Region 3 (probing): steps grow again past the plateau.
+  const double probe_step = caps[11] - caps[10];
+  EXPECT_GT(early_step, 3.0 * plateau_step);
+  EXPECT_GT(probe_step, 3.0 * plateau_step);
+}
+
+TEST(Cubic, MonotoneDuringRecovery) {
+  CubicController c(paper_cfg(), 1.0);
+  c.step(true);
+  double last = c.cap();
+  for (int i = 0; i < 30; ++i) {
+    const double cap = c.step(false);
+    EXPECT_GE(cap, last - 1e-12);
+    last = cap;
+  }
+}
+
+TEST(Cubic, LiftsAfterProbingPastThreshold) {
+  PerfCloudConfig cfg = paper_cfg();
+  cfg.cap_lift_fraction = 1.5;
+  CubicController c(cfg, 1.0);
+  c.step(true);
+  int i = 0;
+  while (!c.lifted() && i++ < 200) c.step(false);
+  EXPECT_TRUE(c.lifted());
+  EXPECT_GE(c.cap(), 1.5);
+}
+
+TEST(Cubic, NoDecreaseMeansProbingFromStart) {
+  // Never contended: the cap grows beyond baseline and eventually lifts.
+  CubicController c(paper_cfg(), 1.0);
+  for (int i = 0; i < 50 && !c.lifted(); ++i) c.step(false);
+  EXPECT_TRUE(c.lifted());
+}
+
+TEST(Cubic, SecondDecreaseScalesFromCurrentCap) {
+  CubicController c(paper_cfg(), 1.0);
+  c.step(true);           // 0.2
+  c.step(false);          // recovering...
+  const double mid = c.cap();
+  c.step(true);
+  EXPECT_NEAR(c.cap(), std::max(0.2 * mid, 0.05), 1e-12);
+  EXPECT_DOUBLE_EQ(c.cap_max(), mid);
+}
+
+TEST(Cubic, AbsoluteCapScalesWithBaseline) {
+  CubicController c(paper_cfg(), 40.0e6);
+  c.step(true);
+  EXPECT_NEAR(c.cap_absolute(), 8.0e6, 1e-3);
+}
+
+// Parameter sweep: recovery time grows as gamma shrinks.
+class CubicGammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(CubicGammaSweep, RecoveryTimeTracksK) {
+  PerfCloudConfig cfg = paper_cfg();
+  cfg.gamma = GetParam();
+  CubicController c(cfg, 1.0);
+  c.step(true);
+  int intervals = 0;
+  while (c.cap() < 0.999 && intervals < 1000) {
+    c.step(false);
+    ++intervals;
+  }
+  const double k = std::cbrt(cfg.beta / cfg.gamma);
+  EXPECT_NEAR(intervals, k, k * 0.4 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, CubicGammaSweep,
+                         ::testing::Values(0.001, 0.002, 0.005, 0.01, 0.05));
+
+}  // namespace
+}  // namespace perfcloud::core

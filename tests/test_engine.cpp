@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now().seconds(), 0.0);
+}
+
+TEST(Engine, RunsOneShotEvents) {
+  Engine e;
+  std::vector<double> fired;
+  e.at(SimTime(1.0), [&](SimTime t) { fired.push_back(t.seconds()); });
+  e.after(2.5, [&](SimTime t) { fired.push_back(t.seconds()); });
+  e.run_until(SimTime(10.0));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(e.now().seconds(), 10.0);
+}
+
+TEST(Engine, RunUntilStopsBeforeLaterEvents) {
+  Engine e;
+  int fired = 0;
+  e.at(SimTime(5.0), [&](SimTime) { ++fired; });
+  e.run_until(SimTime(3.0));
+  EXPECT_EQ(fired, 0);
+  EXPECT_DOUBLE_EQ(e.now().seconds(), 3.0);
+  e.run_until(SimTime(6.0));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, PeriodicFiresAtMultiples) {
+  Engine e;
+  std::vector<double> fired;
+  e.every(2.0, [&](SimTime t) { fired.push_back(t.seconds()); }, SimTime(2.0));
+  e.run_until(SimTime(7.0));
+  EXPECT_EQ(fired, (std::vector<double>{2.0, 4.0, 6.0}));
+}
+
+TEST(Engine, PeriodicWithCustomStart) {
+  Engine e;
+  std::vector<double> fired;
+  e.every(5.0, [&](SimTime t) { fired.push_back(t.seconds()); }, SimTime(1.0));
+  e.run_until(SimTime(12.0));
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 6.0, 11.0}));
+}
+
+TEST(Engine, PeriodicsAtSameTimeFireInRegistrationOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.every(1.0, [&](SimTime) { order.push_back(1); }, SimTime(1.0));
+  e.every(1.0, [&](SimTime) { order.push_back(2); }, SimTime(1.0));
+  e.run_until(SimTime(2.5));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+TEST(Engine, PeriodicBeatsOneShotAtSameTimestamp) {
+  Engine e;
+  std::vector<int> order;
+  e.at(SimTime(1.0), [&](SimTime) { order.push_back(2); });
+  e.every(1.0, [&](SimTime) { order.push_back(1); }, SimTime(1.0));
+  e.run_until(SimTime(1.5));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, InterleavesPeriodicsAndEvents) {
+  Engine e;
+  std::vector<double> fired;
+  e.every(3.0, [&](SimTime t) { fired.push_back(t.seconds()); }, SimTime(3.0));
+  e.at(SimTime(4.0), [&](SimTime t) { fired.push_back(t.seconds()); });
+  e.run_until(SimTime(7.0));
+  EXPECT_EQ(fired, (std::vector<double>{3.0, 4.0, 6.0}));
+}
+
+TEST(Engine, RunWhilePredicateStops) {
+  Engine e;
+  int count = 0;
+  e.every(1.0, [&](SimTime) { ++count; }, SimTime(1.0));
+  e.run_while([&] { return count < 5; }, SimTime(100.0));
+  EXPECT_EQ(count, 5);
+  EXPECT_LE(e.now().seconds(), 6.0);
+}
+
+TEST(Engine, StopEndsRunEarly) {
+  Engine e;
+  int count = 0;
+  e.every(1.0,
+          [&](SimTime) {
+            if (++count == 3) e.stop();
+          },
+          SimTime(1.0));
+  e.run_until(SimTime(100.0));
+  EXPECT_EQ(count, 3);
+  EXPECT_DOUBLE_EQ(e.now().seconds(), 3.0);
+  // A later run resumes.
+  e.run_until(SimTime(5.0));
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Engine, CancelScheduledEvent) {
+  Engine e;
+  int fired = 0;
+  const EventHandle h = e.at(SimTime(1.0), [&](SimTime) { ++fired; });
+  EXPECT_TRUE(e.cancel(h));
+  e.run_until(SimTime(2.0));
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, RngIsSeeded) {
+  Engine a(7);
+  Engine b(7);
+  EXPECT_EQ(a.rng()(), b.rng()());
+  Engine c(8);
+  Engine d(9);
+  EXPECT_NE(c.rng()(), d.rng()());
+}
+
+TEST(Engine, EventSchedulingFromCallback) {
+  Engine e;
+  std::vector<double> fired;
+  e.at(SimTime(1.0), [&](SimTime) {
+    e.after(1.0, [&](SimTime t) { fired.push_back(t.seconds()); });
+  });
+  e.run_until(SimTime(5.0));
+  EXPECT_EQ(fired, (std::vector<double>{2.0}));
+}
+
+TEST(Engine, DrainsAndReportsFinalTime) {
+  Engine e;
+  e.at(SimTime(2.0), [](SimTime) {});
+  const SimTime end = e.run_until(SimTime(10.0));
+  EXPECT_DOUBLE_EQ(end.seconds(), 10.0);
+}
+
+}  // namespace
+}  // namespace perfcloud::sim

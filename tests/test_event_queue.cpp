@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime(3.0), [&](SimTime) { order.push_back(3); });
+  q.schedule(SimTime(1.0), [&](SimTime) { order.push_back(1); });
+  q.schedule(SimTime(2.0), [&](SimTime) { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(SimTime(5.0), [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CallbackReceivesEventTime) {
+  EventQueue q;
+  double seen = -1.0;
+  q.schedule(SimTime(7.5), [&](SimTime t) { seen = t.seconds(); });
+  q.run_next();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventHandle h = q.schedule(SimTime(1.0), [&](SimTime) { ++fired; });
+  q.schedule(SimTime(2.0), [&](SimTime) { ++fired; });
+  EXPECT_TRUE(q.cancel(h));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse) {
+  EventQueue q;
+  const EventHandle h = q.schedule(SimTime(1.0), [](SimTime) {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelAfterFireIsFalse) {
+  EventQueue q;
+  const EventHandle h = q.schedule(SimTime(1.0), [](SimTime) {});
+  q.run_next();
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandleIsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+  EXPECT_FALSE(q.cancel(EventHandle{9999}));
+}
+
+TEST(EventQueue, PendingTracksLiveEvents) {
+  EventQueue q;
+  const EventHandle a = q.schedule(SimTime(1.0), [](SimTime) {});
+  q.schedule(SimTime(2.0), [](SimTime) {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.run_next();
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventHandle a = q.schedule(SimTime(1.0), [](SimTime) {});
+  q.schedule(SimTime(5.0), [](SimTime) {});
+  q.cancel(a);
+  EXPECT_DOUBLE_EQ(q.next_time().seconds(), 5.0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  std::vector<double> fired;
+  q.schedule(SimTime(1.0), [&](SimTime t) {
+    fired.push_back(t.seconds());
+    q.schedule(SimTime(2.0), [&](SimTime t2) { fired.push_back(t2.seconds()); });
+  });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(EventQueue, EventCanCancelLaterEvent) {
+  EventQueue q;
+  int fired = 0;
+  EventHandle victim = q.schedule(SimTime(2.0), [&](SimTime) { ++fired; });
+  q.schedule(SimTime(1.0), [&](SimTime) { q.cancel(victim); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  std::vector<double> times;
+  // Insert in a scrambled order.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    q.schedule(SimTime(t), [&times](SimTime at) { times.push_back(at.seconds()); });
+  }
+  while (q.run_next()) {
+  }
+  ASSERT_EQ(times.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+}
+
+}  // namespace
+}  // namespace perfcloud::sim

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "exp/cluster.hpp"
+#include "exp/report.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::exp {
+namespace {
+
+TEST(ClusterBuilder, ShapeMatchesParams) {
+  ClusterParams p;
+  p.hosts = 3;
+  p.workers = 7;
+  Cluster c = make_cluster(p);
+  EXPECT_EQ(c.hosts.size(), 3u);
+  EXPECT_EQ(c.worker_vm_ids.size(), 7u);
+  EXPECT_EQ(c.framework->worker_count(), 7u);
+  // Workers spread round-robin: 3 + 2 + 2.
+  EXPECT_EQ(c.cloud->vms_on_host("host-0").size(), 3u);
+  EXPECT_EQ(c.cloud->vms_on_host("host-1").size(), 2u);
+}
+
+TEST(ClusterBuilder, WorkersAreHighPriorityAppVms) {
+  ClusterParams p;
+  p.workers = 2;
+  Cluster c = make_cluster(p);
+  for (const cloud::VmRecord& r : c.cloud->all_vms()) {
+    EXPECT_EQ(r.priority, virt::Priority::kHigh);
+    EXPECT_EQ(r.app_id, "hadoop");
+  }
+}
+
+TEST(ClusterBuilder, VmLookupWorksAcrossHosts) {
+  ClusterParams p;
+  p.hosts = 2;
+  p.workers = 4;
+  Cluster c = make_cluster(p);
+  for (int id : c.worker_vm_ids) EXPECT_EQ(c.vm(id).id(), id);
+  EXPECT_THROW(static_cast<void>(c.vm(999)), std::invalid_argument);
+}
+
+TEST(ClusterBuilder, AntagonistHelpersBootLowPriorityVms) {
+  ClusterParams p;
+  p.workers = 2;
+  Cluster c = make_cluster(p);
+  const int fio = add_fio(c, "host-0");
+  const int stream = add_stream(c, "host-0", wl::StreamBenchmark::Params{.threads = 8});
+  const int oltp = add_oltp(c, "host-0");
+  const int cpu = add_sysbench_cpu(c, "host-0");
+  for (int id : {fio, stream, oltp, cpu}) {
+    EXPECT_EQ(c.vm(id).priority(), virt::Priority::kLow);
+    EXPECT_NE(c.vm(id).guest(), nullptr);
+  }
+  EXPECT_EQ(c.vm(stream).vcpus(), 8);  // sized to the thread count
+}
+
+TEST(ClusterBuilder, EnablePerfcloudOncePerCluster) {
+  ClusterParams p;
+  p.workers = 2;
+  Cluster c = make_cluster(p);
+  enable_perfcloud(c, core::PerfCloudConfig{});
+  EXPECT_EQ(c.node_managers.size(), 1u);
+  EXPECT_THROW(enable_perfcloud(c, core::PerfCloudConfig{}), std::logic_error);
+}
+
+TEST(RunHelpers, RunJobThrowsOnTimeout) {
+  ClusterParams p;
+  p.workers = 2;
+  Cluster c = make_cluster(p);
+  EXPECT_THROW(run_job(c, wl::make_terasort(50, 50), /*t_max_s=*/1.0), std::runtime_error);
+}
+
+TEST(RunHelpers, RunForAdvancesClock) {
+  ClusterParams p;
+  p.workers = 2;
+  Cluster c = make_cluster(p);
+  run_for(c, 12.5);
+  EXPECT_NEAR(c.engine->now().seconds(), 12.5, 1e-9);
+}
+
+TEST(Report, TablePrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row("beta", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Report, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Report, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = "/tmp/perfcloud_test_table.csv";
+  t.write_csv(path);
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(f, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(Report, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace perfcloud::exp

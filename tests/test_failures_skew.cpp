@@ -1,0 +1,113 @@
+// Failure injection and data skew: framework resilience properties.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/late.hpp"
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+exp::Cluster small_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = seed;
+  return exp::make_cluster(p);
+}
+
+TEST(FailureInjection, JobsStillCompleteUnderFailures) {
+  exp::Cluster c = small_cluster(3);
+  c.framework->set_task_failure_rate(0.01);  // ~1 %/s per attempt
+  const double jct = exp::run_job(c, make_terasort(12, 12), 3600.0);
+  EXPECT_GT(jct, 0.0);
+  EXPECT_GT(c.framework->failed_attempts(), 0);
+}
+
+TEST(FailureInjection, RetriesCostUtilizationEfficiency) {
+  exp::Cluster c = small_cluster(5);
+  c.framework->set_task_failure_rate(0.02);
+  exp::run_job(c, make_terasort(12, 12), 3600.0);
+  EXPECT_LT(c.framework->utilization_efficiency(), 1.0);
+}
+
+TEST(FailureInjection, FailuresSlowJobsDown) {
+  auto run = [](double rate) {
+    exp::Cluster c = small_cluster(7);
+    c.framework->set_task_failure_rate(rate);
+    return exp::run_job(c, make_terasort(12, 12), 3600.0);
+  };
+  EXPECT_GT(run(0.03), run(0.0));
+}
+
+TEST(FailureInjection, ZeroRateInjectsNothing) {
+  exp::Cluster c = small_cluster(9);
+  exp::run_job(c, make_terasort(8, 8));
+  EXPECT_EQ(c.framework->failed_attempts(), 0);
+  EXPECT_DOUBLE_EQ(c.framework->utilization_efficiency(), 1.0);
+}
+
+TEST(FailureInjection, EveryTaskStillCompletesExactlyOnce) {
+  exp::Cluster c = small_cluster(11);
+  c.framework->set_task_failure_rate(0.02);
+  const JobId id = c.framework->submit(make_wordcount(10, 5));
+  exp::run_until_done(c, 3600.0);
+  const Job* j = c.framework->find_job(id);
+  ASSERT_TRUE(j->completed());
+  for (std::size_t s = 0; s < j->stage_count(); ++s) {
+    for (const TaskState& t : j->stage(s)) {
+      int winners = 0;
+      for (const AttemptRecord& a : t.attempts) winners += a.finished_ok ? 1 : 0;
+      EXPECT_EQ(winners, 1);
+    }
+  }
+}
+
+TEST(DataSkew, SkewedJobsHaveLongerTails) {
+  auto run = [](double alpha) {
+    exp::Cluster c = small_cluster(13);
+    JobSpec spec = make_wordcount(12, 6);
+    spec.skew_alpha = alpha;
+    return exp::run_job(c, spec);
+  };
+  const double uniform = run(0.0);
+  const double skewed = run(1.1);
+  EXPECT_GT(skewed, 1.1 * uniform);
+}
+
+TEST(DataSkew, SkewMultipliersAreBounded) {
+  sim::Rng rng(1);
+  JobSpec spec = make_wordcount(50, 1);
+  spec.skew_alpha = 1.2;
+  spec.skew_max = 4.0;
+  const Job job(1, spec, sim::SimTime(0.0), rng);
+  const double base = make_wordcount(50, 1).stages[0].task.phases[1].instructions;
+  for (const TaskState& t : job.stage(0)) {
+    const double mult = t.spec.phases[1].instructions / base;
+    EXPECT_GE(mult, 0.6);              // lognormal jitter can dip slightly
+    EXPECT_LE(mult, 4.0 * 1.4);        // pareto bound x jitter headroom
+  }
+}
+
+TEST(DataSkew, SpeculationCannotFixDataSkew) {
+  // A speculative copy re-processes the same oversized partition, so LATE
+  // gains almost nothing against pure data skew (unlike against slow-host
+  // or interference stragglers). Its copies are pure waste here.
+  auto run = [](bool late) {
+    exp::Cluster c = small_cluster(17);
+    if (late) {
+      c.framework->set_speculator(std::make_unique<base::LateSpeculator>(
+          base::LateSpeculator::Params{.min_runtime_s = 4.0}, 12));
+    }
+    JobSpec spec = make_wordcount(12, 6);
+    spec.skew_alpha = 1.1;
+    return exp::run_job(c, spec);
+  };
+  const double without = run(false);
+  const double with_late = run(true);
+  EXPECT_GT(with_late, 0.9 * without);  // no meaningful win
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/job.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+JobSpec two_stage_spec(int tasks_per_stage = 3) {
+  TaskSpec t;
+  t.phases = {PhaseSpec{PhaseKind::kCompute, 100.0, 0.0, 0.0}};
+  return JobSpec{"test", JobType::kMapReduce,
+                 {StageSpec{"map", tasks_per_stage, t}, StageSpec{"reduce", 2, t}},
+                 0.0};
+}
+
+TEST(Job, ConstructionInstantiatesAllStages) {
+  sim::Rng rng(1);
+  Job job(1, two_stage_spec(), sim::SimTime(10.0), rng);
+  EXPECT_EQ(job.id(), 1);
+  EXPECT_EQ(job.stage_count(), 2u);
+  EXPECT_EQ(job.stage(0).size(), 3u);
+  EXPECT_EQ(job.stage(1).size(), 2u);
+  EXPECT_EQ(job.current_stage(), 0u);
+  EXPECT_FALSE(job.finished());
+  EXPECT_DOUBLE_EQ(job.submitted().seconds(), 10.0);
+}
+
+TEST(Job, JitterVariesTaskSizes) {
+  sim::Rng rng(2);
+  JobSpec spec = two_stage_spec(20);
+  spec.task_jitter_sigma = 0.2;
+  Job job(1, spec, sim::SimTime(0.0), rng);
+  double min_instr = 1e18;
+  double max_instr = 0.0;
+  for (const TaskState& t : job.stage(0)) {
+    min_instr = std::min(min_instr, t.spec.phases[0].instructions);
+    max_instr = std::max(max_instr, t.spec.phases[0].instructions);
+  }
+  EXPECT_GT(max_instr, min_instr * 1.05);
+}
+
+TEST(Job, ZeroJitterKeepsTemplateSizes) {
+  sim::Rng rng(3);
+  Job job(1, two_stage_spec(), sim::SimTime(0.0), rng);
+  for (const TaskState& t : job.stage(0)) {
+    EXPECT_DOUBLE_EQ(t.spec.phases[0].instructions, 100.0);
+  }
+}
+
+TEST(Job, BarrierHoldsUntilStageComplete) {
+  sim::Rng rng(4);
+  Job job(1, two_stage_spec(), sim::SimTime(0.0), rng);
+  job.stage(0)[0].completed = true;
+  job.stage(0)[1].completed = true;
+  job.advance_barrier(sim::SimTime(5.0));
+  EXPECT_EQ(job.current_stage(), 0u);  // one task still pending
+  job.stage(0)[2].completed = true;
+  job.advance_barrier(sim::SimTime(6.0));
+  EXPECT_EQ(job.current_stage(), 1u);
+  EXPECT_FALSE(job.finished());
+}
+
+TEST(Job, CompletesAfterLastStage) {
+  sim::Rng rng(5);
+  Job job(1, two_stage_spec(), sim::SimTime(2.0), rng);
+  for (std::size_t s = 0; s < job.stage_count(); ++s) {
+    for (TaskState& t : job.stage(s)) t.completed = true;
+  }
+  job.advance_barrier(sim::SimTime(42.0));
+  EXPECT_TRUE(job.completed());
+  EXPECT_DOUBLE_EQ(job.finish_time().seconds(), 42.0);
+  EXPECT_DOUBLE_EQ(job.jct(), 40.0);
+}
+
+TEST(Job, KillMarksFinished) {
+  sim::Rng rng(6);
+  Job job(1, two_stage_spec(), sim::SimTime(0.0), rng);
+  job.mark_killed(sim::SimTime(9.0));
+  EXPECT_TRUE(job.killed());
+  EXPECT_TRUE(job.finished());
+  EXPECT_FALSE(job.completed());
+  // Killing twice or completing after kill is a no-op.
+  job.advance_barrier(sim::SimTime(10.0));
+  EXPECT_TRUE(job.killed());
+}
+
+TEST(TaskState, RunningAttemptCount) {
+  TaskState t;
+  t.attempts.push_back(AttemptRecord{});
+  t.attempts.back().running = true;
+  t.attempts.push_back(AttemptRecord{});
+  EXPECT_EQ(t.running_attempts(), 1);
+  EXPECT_FALSE(t.schedulable());
+  t.attempts[0].running = false;
+  EXPECT_TRUE(t.schedulable());
+  t.completed = true;
+  EXPECT_FALSE(t.schedulable());
+}
+
+TEST(Benchmarks, AllFactoriesProduceValidSpecs) {
+  for (const std::string& name : benchmark_names()) {
+    const JobSpec spec = make_benchmark(name, 8);
+    EXPECT_FALSE(spec.stages.empty()) << name;
+    for (const StageSpec& s : spec.stages) {
+      EXPECT_GT(s.num_tasks, 0) << name;
+      EXPECT_GT(total_work(s.task), 0.0) << name;
+    }
+  }
+}
+
+TEST(Benchmarks, UnknownNameThrows) {
+  EXPECT_THROW(make_benchmark("nope", 4), std::invalid_argument);
+}
+
+TEST(Benchmarks, TerasortIsIoDominant) {
+  const JobSpec ts = make_terasort(4, 4);
+  const TaskSpec& map = ts.stages[0].task;
+  sim::Bytes io = 0.0;
+  for (const PhaseSpec& p : map.phases) io += p.io_bytes;
+  EXPECT_GT(io, 100.0e6);  // read + write a full block
+}
+
+TEST(Benchmarks, WordcountWritesLittle) {
+  const JobSpec wc = make_wordcount(4, 2);
+  const PhaseSpec& write = wc.stages[0].task.phases.back();
+  EXPECT_EQ(write.kind, PhaseKind::kWrite);
+  EXPECT_LT(write.io_bytes, 0.02 * kHdfsBlock);
+}
+
+TEST(Benchmarks, SparkJobsIterate) {
+  const JobSpec lr = make_spark_logreg(10, 5);
+  EXPECT_EQ(lr.stages.size(), 6u);  // load + 5 iterations
+  EXPECT_EQ(lr.type, JobType::kSpark);
+  // Iterations are compute-dominated with a modest spill/shuffle footprint.
+  for (std::size_t s = 1; s < lr.stages.size(); ++s) {
+    double instr = 0.0;
+    sim::Bytes io = 0.0;
+    for (const PhaseSpec& p : lr.stages[s].task.phases) {
+      instr += p.instructions;
+      io += p.io_bytes;
+    }
+    EXPECT_GT(instr, 3.0e9);
+    EXPECT_LT(io, 0.5 * kHdfsBlock);
+  }
+}
+
+TEST(Benchmarks, SparkMemoryProfileIsHungrier) {
+  const JobSpec lr = make_spark_logreg(10);
+  const JobSpec ts = make_terasort(10, 10);
+  EXPECT_GT(lr.stages[1].task.mem.bw_per_cpu_sec, ts.stages[0].task.mem.bw_per_cpu_sec);
+  EXPECT_GT(lr.stages[1].task.mem.mem_sensitivity, ts.stages[0].task.mem.mem_sensitivity);
+}
+
+TEST(Benchmarks, PagerankShufflesEachIteration) {
+  const JobSpec pr = make_spark_pagerank(10, 3);
+  EXPECT_EQ(pr.stages.size(), 4u);
+  const TaskSpec& iter = pr.stages[1].task;
+  EXPECT_EQ(iter.phases.size(), 3u);
+  EXPECT_GT(iter.phases[0].io_bytes, 0.0);
+  EXPECT_GT(iter.phases[2].io_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

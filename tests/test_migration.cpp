@@ -1,0 +1,187 @@
+// VM live migration and the §IV-D escalation path (high-priority
+// application collisions resolved by the cloud manager).
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_manager.hpp"
+#include "exp/cluster.hpp"
+#include "workloads/antagonists.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::cloud {
+namespace {
+
+hw::ServerConfig host_cfg(const std::string& name) {
+  hw::ServerConfig cfg;
+  cfg.name = name;
+  return cfg;
+}
+
+struct TwoHostRig {
+  sim::Engine engine{1};
+  CloudManager cloud{engine};
+  TwoHostRig() {
+    cloud.add_host(host_cfg("h0"));
+    cloud.add_host(host_cfg("h1"));
+  }
+};
+
+TEST(Migration, MovesVmBetweenHosts) {
+  TwoHostRig rig;
+  const virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{.name = "a"});
+  rig.cloud.migrate_vm(vm.id(), "h1");
+  EXPECT_EQ(rig.cloud.host("h0").find(vm.id()), nullptr);
+  EXPECT_NE(rig.cloud.host("h1").find(vm.id()), nullptr);
+  const auto records = rig.cloud.vms_on_host("h1");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, vm.id());
+}
+
+TEST(Migration, ToSameHostIsNoop) {
+  TwoHostRig rig;
+  const virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{});
+  rig.cloud.migrate_vm(vm.id(), "h0");
+  EXPECT_NE(rig.cloud.host("h0").find(vm.id()), nullptr);
+}
+
+TEST(Migration, UnknownVmOrHostThrows) {
+  TwoHostRig rig;
+  const virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{});
+  EXPECT_THROW(rig.cloud.migrate_vm(999, "h1"), std::invalid_argument);
+  EXPECT_THROW(rig.cloud.migrate_vm(vm.id(), "nope"), std::invalid_argument);
+}
+
+TEST(Migration, CgroupStateTravelsWithVm) {
+  TwoHostRig rig;
+  virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{.vcpus = 2});
+  vm.attach(std::make_unique<wl::SysbenchCpu>(wl::SysbenchCpu::Params{.threads = 2}));
+  rig.cloud.start_ticking(0.1);
+  rig.engine.run_until(sim::SimTime(1.0));
+  const double cpu_before = rig.cloud.host("h0").dom_stats(vm.id()).cpu_time_s;
+  ASSERT_GT(cpu_before, 0.0);
+
+  rig.cloud.migrate_vm(vm.id(), "h1");
+  rig.engine.run_until(sim::SimTime(2.0));
+  const double cpu_after = rig.cloud.host("h1").dom_stats(vm.id()).cpu_time_s;
+  // Counters are cumulative across the migration, and the guest kept running.
+  EXPECT_GT(cpu_after, cpu_before + 0.5);
+}
+
+TEST(Migration, GuestWorkloadKeepsRunningOnNewHost) {
+  TwoHostRig rig;
+  virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{.vcpus = 4});
+  auto guest = std::make_unique<wl::SysbenchCpu>(
+      wl::SysbenchCpu::Params{.threads = 4, .total_instructions = 1e12});
+  const auto* raw = guest.get();
+  vm.attach(std::move(guest));
+  rig.cloud.start_ticking(0.1);
+  rig.engine.run_until(sim::SimTime(1.0));
+  const double before = raw->progress();
+  rig.cloud.migrate_vm(vm.id(), "h1");
+  rig.engine.run_until(sim::SimTime(2.0));
+  EXPECT_GT(raw->progress(), before);
+}
+
+TEST(CollisionResolution, SeparatesTwoHighPriorityApps) {
+  TwoHostRig rig;
+  virt::VmConfig high;
+  high.priority = virt::Priority::kHigh;
+  high.app_id = "app-a";
+  rig.cloud.boot_vm("h0", high);
+  rig.cloud.boot_vm("h0", high);
+  rig.cloud.boot_vm("h0", high);
+  high.app_id = "app-b";
+  rig.cloud.boot_vm("h0", high);
+  rig.cloud.boot_vm("h0", high);
+
+  const int moved = rig.cloud.resolve_high_priority_collision("h0");
+  EXPECT_EQ(moved, 2);  // the smaller group (app-b) moved
+  EXPECT_EQ(rig.cloud.hosts_of_app("app-a"), (std::vector<std::string>{"h0"}));
+  EXPECT_EQ(rig.cloud.hosts_of_app("app-b"), (std::vector<std::string>{"h1"}));
+}
+
+TEST(CollisionResolution, NoCollisionIsNoop) {
+  TwoHostRig rig;
+  virt::VmConfig high;
+  high.priority = virt::Priority::kHigh;
+  high.app_id = "only-app";
+  rig.cloud.boot_vm("h0", high);
+  EXPECT_EQ(rig.cloud.resolve_high_priority_collision("h0"), 0);
+}
+
+TEST(CollisionResolution, SingleHostCloudHasNowhereToGo) {
+  sim::Engine engine{1};
+  CloudManager cloud{engine};
+  cloud.add_host(host_cfg("only"));
+  virt::VmConfig high;
+  high.priority = virt::Priority::kHigh;
+  high.app_id = "a";
+  cloud.boot_vm("only", high);
+  high.app_id = "b";
+  cloud.boot_vm("only", high);
+  EXPECT_EQ(cloud.resolve_high_priority_collision("only"), 0);
+}
+
+TEST(CollisionResolution, NodeManagerEscalatesWhenEnabled) {
+  // A second high-priority app lands on the hadoop-heaviest host of a
+  // 3-host cloud; a node manager with escalation enabled moves it to the
+  // least-conflicted host within one control interval.
+  exp::ClusterParams p;
+  p.hosts = 3;
+  p.workers = 4;  // hadoop: 2 VMs on host-0, 1 each on hosts 1-2
+  exp::Cluster c = exp::make_cluster(p);
+  // Boot a second high-priority app squarely onto host-0.
+  virt::VmConfig other;
+  other.priority = virt::Priority::kHigh;
+  other.app_id = "other-app";
+  c.cloud->boot_vm("host-0", other);
+
+  core::PerfCloudConfig cfg;
+  cfg.escalate_app_collisions = true;
+  exp::enable_perfcloud(c, cfg);
+  exp::run_for(c, 11.0);  // two control intervals
+
+  // host-0 now hosts only one high-priority app, and the moved app does
+  // not bounce back (strict-improvement rule).
+  int apps_on_h0 = 0;
+  std::vector<std::string> seen;
+  for (const VmRecord& r : c.cloud->vms_on_host("host-0")) {
+    if (r.priority == virt::Priority::kHigh &&
+        std::find(seen.begin(), seen.end(), r.app_id) == seen.end()) {
+      seen.push_back(r.app_id);
+      ++apps_on_h0;
+    }
+  }
+  EXPECT_EQ(apps_on_h0, 1);
+}
+
+TEST(Heterogeneity, SpeedFactorsScaleHostClocks) {
+  exp::ClusterParams p;
+  p.hosts = 3;
+  p.workers = 3;
+  p.host_speed_factors = {1.0, 0.5};
+  exp::Cluster c = exp::make_cluster(p);
+  const double base = p.server.cpu.clock_hz;
+  EXPECT_DOUBLE_EQ(c.cloud->host("host-0").server().config().cpu.clock_hz, base);
+  EXPECT_DOUBLE_EQ(c.cloud->host("host-1").server().config().cpu.clock_hz, 0.5 * base);
+  EXPECT_DOUBLE_EQ(c.cloud->host("host-2").server().config().cpu.clock_hz, base);  // cycled
+}
+
+TEST(Heterogeneity, SlowHostCreatesStragglers) {
+  // Same CPU-bound job on a homogeneous vs heterogeneous cluster: the
+  // barrier waits for tasks on the slow host, so the job takes longer.
+  auto run = [](std::vector<double> factors) {
+    exp::ClusterParams p;
+    p.hosts = 3;
+    p.workers = 6;
+    p.seed = 4;
+    p.host_speed_factors = std::move(factors);
+    exp::Cluster c = exp::make_cluster(p);
+    return exp::run_job(c, wl::make_wordcount(12, 6));
+  };
+  const double homogeneous = run({});
+  const double heterogeneous = run({1.0, 1.0, 0.5});
+  EXPECT_GT(heterogeneous, 1.15 * homogeneous);
+}
+
+}  // namespace
+}  // namespace perfcloud::cloud

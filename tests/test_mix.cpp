@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "workloads/mix.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+TEST(Mix, GeneratesRequestedJobCount) {
+  sim::Rng rng(1);
+  const auto mix = make_mapreduce_mix(MixParams{.num_jobs = 100}, rng);
+  EXPECT_EQ(mix.size(), 100u);
+}
+
+TEST(Mix, EightyTwentySizeSplit) {
+  sim::Rng rng(2);
+  MixParams p;
+  p.num_jobs = 1000;
+  const auto mix = make_mapreduce_mix(p, rng);
+  int small = 0;
+  for (const MixEntry& e : mix) {
+    const int tasks = e.spec.stages[0].num_tasks;
+    EXPECT_GE(tasks, p.small_min);
+    EXPECT_LE(tasks, p.large_max);
+    if (tasks < p.small_cutoff) ++small;
+  }
+  EXPECT_NEAR(static_cast<double>(small) / 1000.0, 0.8, 0.04);
+}
+
+TEST(Mix, SubmitTimesAreNondecreasing) {
+  sim::Rng rng(3);
+  const auto mix = make_spark_mix(MixParams{.num_jobs = 50}, rng);
+  for (std::size_t i = 1; i < mix.size(); ++i) {
+    EXPECT_GE(mix[i].submit_time_s, mix[i - 1].submit_time_s);
+  }
+  EXPECT_DOUBLE_EQ(mix[0].submit_time_s, 0.0);
+}
+
+TEST(Mix, InterarrivalMatchesMean) {
+  sim::Rng rng(4);
+  MixParams p;
+  p.num_jobs = 2000;
+  p.mean_interarrival_s = 10.0;
+  const auto mix = make_mapreduce_mix(p, rng);
+  const double span = mix.back().submit_time_s;
+  EXPECT_NEAR(span / static_cast<double>(p.num_jobs - 1), 10.0, 1.0);
+}
+
+TEST(Mix, MapReduceMixUsesPumaBenchmarks) {
+  sim::Rng rng(5);
+  const auto mix = make_mapreduce_mix(MixParams{.num_jobs = 9}, rng);
+  int terasort = 0;
+  for (const MixEntry& e : mix) {
+    EXPECT_EQ(e.spec.type, JobType::kMapReduce);
+    if (e.spec.name == "terasort") ++terasort;
+  }
+  EXPECT_EQ(terasort, 3);  // cycled evenly
+}
+
+TEST(Mix, SparkMixUsesSparkBenchmarks) {
+  sim::Rng rng(6);
+  const auto mix = make_spark_mix(MixParams{.num_jobs = 9}, rng);
+  for (const MixEntry& e : mix) {
+    EXPECT_EQ(e.spec.type, JobType::kSpark);
+  }
+}
+
+TEST(Mix, DeterministicPerSeed) {
+  sim::Rng r1(7);
+  sim::Rng r2(7);
+  const auto a = make_mapreduce_mix(MixParams{.num_jobs = 20}, r1);
+  const auto b = make_mapreduce_mix(MixParams{.num_jobs = 20}, r2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].spec.name, b[i].spec.name);
+    EXPECT_EQ(a[i].spec.stages[0].num_tasks, b[i].spec.stages[0].num_tasks);
+    EXPECT_DOUBLE_EQ(a[i].submit_time_s, b[i].submit_time_s);
+  }
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

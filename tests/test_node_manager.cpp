@@ -1,0 +1,142 @@
+// End-to-end tests of Algorithm 1 on a small simulated host.
+#include <gtest/gtest.h>
+
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::core {
+namespace {
+
+exp::Cluster hadoop_cluster(std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = seed;
+  return exp::make_cluster(p);
+}
+
+TEST(NodeManager, QuietClusterNeverTriggers) {
+  exp::Cluster c = hadoop_cluster(11);
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_terasort(10, 10));
+  exp::run_until_done(c, 600.0);
+
+  NodeManager& nm = c.node_manager(0);
+  const sim::TimeSeries& io_sig = nm.io_signal("hadoop");
+  const sim::TimeSeries& cpi_sig = nm.cpi_signal("hadoop");
+  ASSERT_GT(io_sig.size(), 3u);
+  // Paper §III-A: deviations stay below the thresholds when running alone.
+  EXPECT_LT(io_sig.peak(), 10.0);
+  EXPECT_LT(cpi_sig.peak(), 1.0);
+  // And nothing was throttled.
+  for (const auto& vm : c.cloud->host("host-0").vms()) {
+    EXPECT_EQ(vm->cgroup().blkio_throttle_bps(), hw::kNoCap);
+    EXPECT_EQ(vm->cgroup().cpu_quota_cores(), hw::kNoCap);
+  }
+}
+
+TEST(NodeManager, DetectsAndThrottlesIoAntagonist) {
+  exp::Cluster c = hadoop_cluster(13);
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_terasort(12, 12));
+  exp::run_until_done(c, 600.0);
+
+  NodeManager& nm = c.node_manager(0);
+  EXPECT_GT(nm.io_signal("hadoop").peak(), 10.0);
+  // fio was identified and its cap history shows a decrease below 1.
+  const sim::TimeSeries& caps = nm.io_cap_series(fio);
+  ASSERT_FALSE(caps.empty());
+  double min_cap = 1e9;
+  for (std::size_t i = 0; i < caps.size(); ++i) min_cap = std::min(min_cap, caps.value(i));
+  EXPECT_LT(min_cap, 0.5);
+}
+
+TEST(NodeManager, ThrottlingImprovesJct) {
+  // Long enough that identification (>= 3 samples after the fio VM starts)
+  // leaves a meaningful throttled window within the job.
+  const wl::JobSpec job = wl::make_terasort(24, 24);
+  exp::Cluster base = hadoop_cluster(17);
+  const double jct_alone = exp::run_job(base, job);
+
+  exp::Cluster noisy = hadoop_cluster(17);
+  exp::add_fio(noisy, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  const double jct_noisy = exp::run_job(noisy, job);
+
+  exp::Cluster guarded = hadoop_cluster(17);
+  exp::add_fio(guarded, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  exp::enable_perfcloud(guarded, PerfCloudConfig{});
+  const double jct_guarded = exp::run_job(guarded, job);
+
+  EXPECT_GT(jct_noisy, 1.3 * jct_alone);
+  EXPECT_LT(jct_guarded, 0.80 * jct_noisy);
+}
+
+TEST(NodeManager, MonitoringOnlyModeNeverActuates) {
+  exp::Cluster c = hadoop_cluster(19);
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  exp::enable_perfcloud(c, PerfCloudConfig{}, /*control=*/false);
+  c.framework->submit(wl::make_terasort(12, 12));
+  exp::run_until_done(c, 600.0);
+
+  NodeManager& nm = c.node_manager(0);
+  EXPECT_GT(nm.io_signal("hadoop").peak(), 10.0);  // detection still works
+  EXPECT_TRUE(nm.io_cap_series(fio).empty());      // but no control
+  EXPECT_EQ(c.vm(fio).cgroup().blkio_throttle_bps(), hw::kNoCap);
+}
+
+TEST(NodeManager, CpuAntagonistGetsCpuCapNotIoCap) {
+  exp::Cluster c = hadoop_cluster(23);
+  const int stream = exp::add_stream(c, "host-0", wl::StreamBenchmark::Params{.threads = 16, .start_s = 12.0});
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_spark_logreg(24, 10));
+  exp::run_until_done(c, 600.0);
+
+  NodeManager& nm = c.node_manager(0);
+  EXPECT_GT(nm.cpi_signal("hadoop").peak(), 1.0);
+  EXPECT_FALSE(nm.cpu_cap_series(stream).empty());
+  EXPECT_TRUE(nm.io_cap_series(stream).empty());
+}
+
+TEST(NodeManager, InnocentBystanderNotThrottled) {
+  exp::Cluster c = hadoop_cluster(29);
+  exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  const int cpu_vm = exp::add_sysbench_cpu(c, "host-0");
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_terasort(12, 12));
+  exp::run_until_done(c, 600.0);
+
+  NodeManager& nm = c.node_manager(0);
+  EXPECT_TRUE(nm.io_cap_series(cpu_vm).empty());
+  EXPECT_TRUE(nm.cpu_cap_series(cpu_vm).empty());
+}
+
+TEST(NodeManager, CapLiftsAfterJobEnds) {
+  exp::Cluster c = hadoop_cluster(31);
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_terasort(12, 12));
+  exp::run_until_done(c, 600.0);
+  // After the job ends contention vanishes; give the cubic time to probe.
+  exp::run_for(c, 120.0);
+  EXPECT_EQ(c.vm(fio).cgroup().blkio_throttle_bps(), hw::kNoCap);
+}
+
+TEST(NodeManager, SuspectScoresExposeCorrelations) {
+  exp::Cluster c = hadoop_cluster(37);
+  const int fio = exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.start_s = 12.0});
+  exp::enable_perfcloud(c, PerfCloudConfig{});
+  c.framework->submit(wl::make_terasort(12, 12));
+  exp::run_for(c, 60.0);
+  // fio appears in the score list every interval...
+  bool found = false;
+  for (const SuspectScore& s : c.node_manager(0).last_io_scores()) {
+    found |= s.vm_id == fio;
+  }
+  EXPECT_TRUE(found);
+  // ...and its correlation crossed the 0.8 threshold at some point (a
+  // controller exists), even though throttling then flattens its signal.
+  EXPECT_FALSE(c.node_manager(0).io_cap_series(fio).empty());
+}
+
+}  // namespace
+}  // namespace perfcloud::core

@@ -1,0 +1,70 @@
+// §IV-D extension: shared-memory shuffle between colocated worker VMs.
+#include <gtest/gtest.h>
+
+#include "exp/cluster.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+double run_terasort(bool shm, int hosts, std::uint64_t seed) {
+  exp::ClusterParams p;
+  p.hosts = hosts;
+  p.workers = 6;
+  p.seed = seed;
+  exp::Cluster c = exp::make_cluster(p);
+  c.framework->set_shared_memory_shuffle(shm);
+  return exp::run_job(c, make_terasort(12, 12));
+}
+
+TEST(SharedMemoryShuffle, DisabledByDefault) {
+  exp::ClusterParams p;
+  p.workers = 2;
+  exp::Cluster c = exp::make_cluster(p);
+  EXPECT_FALSE(c.framework->shared_memory_shuffle());
+}
+
+TEST(SharedMemoryShuffle, SpeedsUpShuffleHeavyJobOnOneHost) {
+  // All workers colocated: the entire shuffle moves via shared memory, so
+  // the reduce stage's read I/O disappears and the job finishes earlier.
+  const double without = run_terasort(false, 1, 5);
+  const double with_shm = run_terasort(true, 1, 5);
+  EXPECT_LT(with_shm, 0.95 * without);
+}
+
+TEST(SharedMemoryShuffle, WeakerWhenWorkersAreSpreadOut) {
+  // 3 hosts, 2 workers each: only 1 of 5 peers is local, so ~20 % of the
+  // shuffle is saved — a much smaller effect than full colocation.
+  const double one_host_gain = run_terasort(false, 1, 7) - run_terasort(true, 1, 7);
+  const double spread_gain = run_terasort(false, 3, 7) - run_terasort(true, 3, 7);
+  EXPECT_GE(one_host_gain, spread_gain);
+}
+
+TEST(SharedMemoryShuffle, MapOnlyJobUnaffected) {
+  // grep has no shuffle stage: shared memory changes nothing.
+  auto run = [](bool shm) {
+    exp::ClusterParams p;
+    p.workers = 6;
+    p.seed = 9;
+    exp::Cluster c = exp::make_cluster(p);
+    c.framework->set_shared_memory_shuffle(shm);
+    return exp::run_job(c, make_grep(12));
+  };
+  EXPECT_DOUBLE_EQ(run(false), run(true));
+}
+
+TEST(SharedMemoryShuffle, FirstStageReadsStillHitDisk) {
+  // HDFS input reads (stage 0) are not shuffle traffic; with shared memory
+  // on, a terasort's map stage is unchanged — only the reduce stage
+  // accelerates, so the job can never finish faster than its map stage.
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = 11;
+  exp::Cluster c = exp::make_cluster(p);
+  c.framework->set_shared_memory_shuffle(true);
+  const double maps_only = exp::run_job(c, make_terasort(12, 1));
+  EXPECT_GT(maps_only, 5.0);  // map reads still take real disk time
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

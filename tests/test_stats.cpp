@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownBatch) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsCombined) {
+  Rng r(1);
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.normal(3.0, 2.0);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const double x = r.normal(-1.0, 0.5);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(RunningStats, ResetClearsEverything) {
+  RunningStats s;
+  s.add(42.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableWithLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+TEST(BatchStats, MeanAndStddev) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 5.0);
+  EXPECT_NEAR(stddev_of(xs), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_NEAR(population_stddev_of(xs), 2.0, 1e-12);
+}
+
+TEST(BatchStats, DegenerateInputs) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_EQ(stddev_of(one), 0.0);
+  EXPECT_EQ(population_stddev_of(one), 0.0);
+}
+
+TEST(BatchStats, StddevOfConstantIsZero) {
+  const std::vector<double> xs(100, 7.7);
+  EXPECT_NEAR(stddev_of(xs), 0.0, 1e-12);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 1.0 / 3.0), 20.0);
+}
+
+TEST(Percentile, UnsortedInputIsHandled) {
+  const std::vector<double> xs = {40.0, 10.0, 30.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.5), 25.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_EQ(percentile_of({}, 0.5), 0.0); }
+
+TEST(BoxStats, FiveNumberSummary) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const BoxStats b = box_stats_of(xs);
+  EXPECT_EQ(b.count, 101u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.q1, 26.0);
+  EXPECT_DOUBLE_EQ(b.median, 51.0);
+  EXPECT_DOUBLE_EQ(b.q3, 76.0);
+  EXPECT_DOUBLE_EQ(b.max, 101.0);
+  EXPECT_DOUBLE_EQ(b.mean, 51.0);
+}
+
+TEST(BoxStats, EmptyIsAllZero) {
+  const BoxStats b = box_stats_of({});
+  EXPECT_EQ(b.count, 0u);
+  EXPECT_EQ(b.median, 0.0);
+}
+
+TEST(Histogram, BinningAgainstEdges) {
+  Histogram h({0.1, 0.3});  // bins: (-inf,0.1), [0.1,0.3), [0.3,inf)
+  h.add(0.05);
+  h.add(0.1);
+  h.add(0.2);
+  h.add(0.3);
+  h.add(5.0);
+  EXPECT_EQ(h.bin_count(), 3u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.4);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_EQ(h.fraction(0), 0.0);
+}
+
+TEST(Histogram, RejectsUnsortedEdges) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+// Property sweep: stddev_of agrees with RunningStats on random batches.
+class StatsAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(StatsAgreement, StreamingMatchesBatch) {
+  Rng r(static_cast<std::uint64_t>(GetParam()));
+  const int n = 2 + GetParam() * 13 % 97;
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.uniform(-50.0, 50.0);
+    xs.push_back(x);
+    s.add(x);
+  }
+  EXPECT_NEAR(s.mean(), mean_of(xs), 1e-9);
+  EXPECT_NEAR(s.stddev(), stddev_of(xs), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBatches, StatsAgreement, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace perfcloud::sim

@@ -1,0 +1,134 @@
+// Long-running chaos/stress scenario: job stream + antagonist churn +
+// injected task failures + a live migration, all under PerfCloud, with
+// global invariants checked throughout.
+#include <gtest/gtest.h>
+
+#include "cloud/placement.hpp"
+#include "exp/cluster.hpp"
+#include "exp/summary.hpp"
+#include "workloads/benchmarks.hpp"
+#include "workloads/mix.hpp"
+
+namespace perfcloud {
+namespace {
+
+TEST(Stress, ChaosScenarioKeepsAllInvariants) {
+  exp::ClusterParams p;
+  p.hosts = 3;
+  p.workers = 18;
+  p.seed = 99;
+  exp::Cluster c = exp::make_cluster(p);
+  c.framework->set_task_failure_rate(0.005);
+  c.framework->set_shared_memory_shuffle(true);
+
+  // Antagonist churn across the run.
+  std::vector<int> antagonists;
+  antagonists.push_back(exp::add_fio(
+      c, "host-0", wl::FioRandomRead::Params{.duration_s = 90.0, .start_s = 20.0}));
+  antagonists.push_back(exp::add_stream(
+      c, "host-1",
+      wl::StreamBenchmark::Params{.threads = 16, .duration_s = 120.0, .start_s = 60.0}));
+  antagonists.push_back(exp::add_dd_writer(
+      c, "host-2", wl::DdSequentialWriter::Params{.start_s = 150.0}));
+  antagonists.push_back(exp::add_oltp(c, "host-2", wl::SysbenchOltp::Params{.start_s = 40.0}));
+
+  exp::enable_perfcloud(c, core::PerfCloudConfig{});
+
+  // A stream of jobs over the whole window.
+  sim::Rng mix_rng(17);
+  wl::MixParams mp;
+  mp.num_jobs = 12;
+  mp.mean_interarrival_s = 25.0;
+  std::vector<wl::JobId> ids;
+  for (const wl::MixEntry& e : wl::make_mapreduce_mix(mp, mix_rng)) {
+    c.engine->at(sim::SimTime(e.submit_time_s),
+                 [&c, &ids, spec = e.spec](sim::SimTime) { ids.push_back(c.framework->submit(spec)); });
+  }
+
+  // Mid-run, migrate one worker VM to another host (placement change the
+  // node managers must absorb via the registry).
+  c.engine->at(sim::SimTime(100.0), [&c](sim::SimTime) {
+    c.cloud->migrate_vm(c.worker_vm_ids[0], "host-2");
+  });
+
+  // Periodic invariant checks while everything churns.
+  int checks = 0;
+  c.engine->every(10.0, [&](sim::SimTime) {
+    ++checks;
+    for (const int id : c.worker_vm_ids) {
+      const virt::Cgroup& cg = c.vm(id).cgroup();
+      ASSERT_EQ(cg.blkio_throttle_bps(), hw::kNoCap);
+      ASSERT_EQ(cg.cpu_quota_cores(), hw::kNoCap);
+    }
+  }, sim::SimTime(10.0));
+
+  c.engine->run_while(
+      [&] { return ids.size() < 12 || !c.framework->all_done(); }, sim::SimTime(4000.0));
+
+  // Every job completed despite failures, churn, and migration.
+  const exp::RunSummary s = exp::summarize(*c.framework);
+  EXPECT_EQ(s.jobs_submitted, 12);
+  EXPECT_EQ(s.jobs_completed, 12);
+  EXPECT_GT(checks, 10);
+
+  // The migrated worker kept participating: it ran some attempts.
+  EXPECT_GT(c.vm(c.worker_vm_ids[0]).cgroup().stats().cpu_time_s, 1.0);
+  // The migrated VM is on host-2 now.
+  bool found = false;
+  for (const auto& r : c.cloud->vms_on_host("host-2")) {
+    found |= r.id == c.worker_vm_ids[0];
+  }
+  EXPECT_TRUE(found);
+
+  // Quiet period: every cap lifts (finite antagonists are done or idle).
+  for (const int id : antagonists) c.vm(id).detach();
+  exp::run_for(c, 200.0);
+  for (const int id : antagonists) {
+    EXPECT_EQ(c.vm(id).cgroup().blkio_throttle_bps(), hw::kNoCap);
+    EXPECT_EQ(c.vm(id).cgroup().cpu_quota_cores(), hw::kNoCap);
+  }
+}
+
+TEST(Stress, DdWriterDegradesAndIsControlled) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = 55;
+
+  exp::Cluster clean = exp::make_cluster(p);
+  const double base = exp::run_job(clean, wl::make_terasort(16, 16));
+
+  exp::Cluster noisy = exp::make_cluster(p);
+  exp::add_dd_writer(noisy, "host-0", wl::DdSequentialWriter::Params{.start_s = 10.0});
+  const double contended = exp::run_job(noisy, wl::make_terasort(16, 16));
+  EXPECT_GT(contended, 1.1 * base);
+
+  exp::Cluster guarded = exp::make_cluster(p);
+  const int dd = exp::add_dd_writer(guarded, "host-0",
+                                    wl::DdSequentialWriter::Params{.start_s = 10.0});
+  exp::enable_perfcloud(guarded, core::PerfCloudConfig{});
+  const double protected_jct = exp::run_job(guarded, wl::make_terasort(16, 16));
+  EXPECT_LT(protected_jct, contended);
+  // The sequential writer still made progress.
+  const auto* guest = dynamic_cast<const wl::DdSequentialWriter*>(guarded.vm(dd).guest());
+  EXPECT_GT(guest->bytes_written(), 0.0);
+}
+
+TEST(Stress, PackedPlacementConcentratesLoad) {
+  sim::Engine engine(1);
+  cloud::CloudManager cl(engine);
+  hw::ServerConfig h;
+  h.name = "h0";
+  cl.add_host(h);
+  h.name = "h1";
+  cl.add_host(h);
+  const auto ids =
+      cloud::place_packed(cl, cl.host_names(), 5, 4, virt::VmConfig{}, "packed-app");
+  EXPECT_EQ(ids.size(), 5u);
+  EXPECT_EQ(cl.vms_on_host("h0").size(), 4u);
+  EXPECT_EQ(cl.vms_on_host("h1").size(), 1u);
+  EXPECT_THROW(cloud::place_packed(cl, cl.host_names(), 20, 4, virt::VmConfig{}, "x"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace perfcloud

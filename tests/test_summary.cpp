@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "exp/cluster.hpp"
+#include "exp/summary.hpp"
+#include "workloads/benchmarks.hpp"
+
+namespace perfcloud::exp {
+namespace {
+
+exp::Cluster small_cluster(std::uint64_t seed = 1) {
+  exp::ClusterParams p;
+  p.workers = 6;
+  p.seed = seed;
+  return exp::make_cluster(p);
+}
+
+TEST(Summary, EmptyFramework) {
+  exp::Cluster c = small_cluster();
+  const RunSummary s = summarize(*c.framework);
+  EXPECT_EQ(s.jobs_submitted, 0);
+  EXPECT_EQ(s.jobs_completed, 0);
+  EXPECT_DOUBLE_EQ(s.utilization_efficiency, 1.0);
+}
+
+TEST(Summary, CountsCompletedJobsAndAttempts) {
+  exp::Cluster c = small_cluster(3);
+  run_job(c, wl::make_terasort(8, 4));
+  run_job(c, wl::make_wordcount(6, 3));
+  const RunSummary s = summarize(*c.framework);
+  EXPECT_EQ(s.jobs_submitted, 2);
+  EXPECT_EQ(s.jobs_completed, 2);
+  EXPECT_EQ(s.jobs_killed, 0);
+  EXPECT_EQ(s.attempts_total, 8 + 4 + 6 + 3);
+  EXPECT_EQ(s.attempts_killed, 0);
+  EXPECT_GT(s.mean_jct, 0.0);
+  EXPECT_GE(s.max_jct, s.p95_jct);
+  EXPECT_GE(s.p95_jct, s.median_jct);
+}
+
+TEST(Summary, TracksCloneKills) {
+  exp::Cluster c = small_cluster(5);
+  c.framework->submit_cloned(wl::make_wordcount(4, 2), 3);
+  run_until_done(c, 3600.0);
+  const RunSummary s = summarize(*c.framework);
+  EXPECT_EQ(s.jobs_submitted, 3);
+  EXPECT_EQ(s.jobs_completed, 1);
+  EXPECT_EQ(s.jobs_killed, 2);
+  EXPECT_GT(s.attempts_killed, 0);
+  EXPECT_LT(s.utilization_efficiency, 1.0);
+}
+
+TEST(Summary, TracksInjectedFailures) {
+  exp::Cluster c = small_cluster(7);
+  c.framework->set_task_failure_rate(0.02);
+  run_job(c, wl::make_terasort(10, 10), 3600.0);
+  const RunSummary s = summarize(*c.framework);
+  EXPECT_GT(s.attempts_total, 20);  // retries created extra attempts
+  EXPECT_EQ(s.attempts_killed, c.framework->failed_attempts());
+}
+
+TEST(Summary, PrintIsHumanReadable) {
+  exp::Cluster c = small_cluster(9);
+  run_job(c, wl::make_grep(6));
+  std::ostringstream os;
+  print(os, summarize(*c.framework));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("jobs: 1/1 completed"), std::string::npos);
+  EXPECT_NE(out.find("utilization efficiency: 1.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace perfcloud::exp

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "workloads/task.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+TaskSpec simple_spec() {
+  TaskSpec t;
+  t.phases = {
+      PhaseSpec{PhaseKind::kRead, 100.0, 2.0, 1024.0},
+      PhaseSpec{PhaseKind::kCompute, 1000.0, 0.0, 0.0},
+      PhaseSpec{PhaseKind::kWrite, 50.0, 1.0, 512.0},
+  };
+  return t;
+}
+
+TEST(TaskSpecFn, TotalWorkCombinesInstrAndIo) {
+  const TaskSpec t = simple_spec();
+  EXPECT_DOUBLE_EQ(total_work(t), 1150.0 + (1024.0 + 512.0) * kInstrPerIoByte);
+}
+
+TEST(TaskAttempt, StartsAtZeroProgress) {
+  TaskAttempt a(simple_spec(), sim::SimTime(5.0));
+  EXPECT_FALSE(a.done());
+  EXPECT_DOUBLE_EQ(a.progress(), 0.0);
+  EXPECT_DOUBLE_EQ(a.started().seconds(), 5.0);
+}
+
+TEST(TaskAttempt, DemandsCpuAndIoInReadPhase) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  const hw::TenantDemand d = a.demand(0.1);
+  EXPECT_DOUBLE_EQ(d.cpu_core_seconds, 0.1);
+  EXPECT_GT(d.io_bytes, 0.0);
+  EXPECT_GT(d.io_ops, 0.0);
+}
+
+TEST(TaskAttempt, ComputePhaseHasNoIo) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  a.advance(100.0, 2.0, 1024.0);  // completes the read phase exactly
+  const hw::TenantDemand d = a.demand(0.1);
+  EXPECT_DOUBLE_EQ(d.io_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(d.io_ops, 0.0);
+  EXPECT_DOUBLE_EQ(d.cpu_core_seconds, 0.1);
+}
+
+TEST(TaskAttempt, PhaseRequiresBothBudgets) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  a.advance(100.0, 0.0, 0.0);  // instructions done, I/O not
+  EXPECT_LT(a.progress(), 1.0);
+  const hw::TenantDemand d = a.demand(0.1);
+  EXPECT_DOUBLE_EQ(d.cpu_core_seconds, 0.0);  // no more instructions needed
+  EXPECT_GT(d.io_bytes, 0.0);                 // still reading
+}
+
+TEST(TaskAttempt, CompletesThroughAllPhases) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  int guard = 0;
+  while (!a.done() && guard++ < 10000) {
+    const hw::TenantDemand d = a.demand(0.1);
+    a.advance(d.cpu_core_seconds > 0.0 ? 200.0 : 0.0, d.io_ops, d.io_bytes);
+  }
+  EXPECT_TRUE(a.done());
+  EXPECT_DOUBLE_EQ(a.progress(), 1.0);
+  EXPECT_DOUBLE_EQ(a.demand(0.1).cpu_core_seconds, 0.0);
+}
+
+TEST(TaskAttempt, ProgressIsMonotone) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  double last = 0.0;
+  for (int i = 0; i < 50 && !a.done(); ++i) {
+    a.advance(30.0, 0.2, 100.0);
+    EXPECT_GE(a.progress(), last);
+    last = a.progress();
+  }
+}
+
+TEST(TaskAttempt, ProgressRateUsesElapsedTime) {
+  TaskAttempt a(simple_spec(), sim::SimTime(10.0));
+  EXPECT_DOUBLE_EQ(a.progress_rate(sim::SimTime(10.0)), 0.0);
+  a.advance(100.0, 2.0, 1024.0);
+  const double rate = a.progress_rate(sim::SimTime(20.0));
+  EXPECT_NEAR(rate, a.progress() / 10.0, 1e-12);
+}
+
+TEST(TaskAttempt, OverdeliveryIsClampedPerPhase) {
+  TaskAttempt a(simple_spec(), sim::SimTime(0.0));
+  // Over-delivery completes at most the current phase; leftover budget is
+  // dropped, not carried into the next phase.
+  a.advance(1e12, 1e12, 1e12);
+  EXPECT_FALSE(a.done());
+  a.advance(1e12, 1e12, 1e12);
+  a.advance(1e12, 1e12, 1e12);
+  EXPECT_TRUE(a.done());
+  EXPECT_DOUBLE_EQ(a.progress(), 1.0);
+  a.advance(1.0, 1.0, 1.0);  // advancing a done task is a no-op
+  EXPECT_TRUE(a.done());
+}
+
+TEST(TaskAttempt, IoRateLimitBoundsDemand) {
+  TaskSpec t;
+  t.phases = {PhaseSpec{PhaseKind::kRead, 0.0, 1000.0, 1.0e9}};
+  t.max_io_rate = 10.0e6;
+  TaskAttempt a(t, sim::SimTime(0.0));
+  const hw::TenantDemand d = a.demand(0.5);
+  EXPECT_LE(d.io_bytes, 5.0e6 + 1.0);
+}
+
+TEST(TaskAttempt, MemoryProfilePropagates) {
+  TaskSpec t = simple_spec();
+  t.mem.llc_footprint = 123.0;
+  t.mem.bw_per_cpu_sec = 456.0;
+  t.mem.cpi_base = 1.5;
+  t.mem.mem_sensitivity = 2.0;
+  TaskAttempt a(t, sim::SimTime(0.0));
+  const hw::TenantDemand d = a.demand(0.1);
+  EXPECT_DOUBLE_EQ(d.llc_footprint, 123.0);
+  EXPECT_DOUBLE_EQ(d.mem_bw_per_cpu_sec, 456.0);
+  EXPECT_DOUBLE_EQ(d.cpi_base, 1.5);
+  EXPECT_DOUBLE_EQ(d.mem_sensitivity, 2.0);
+}
+
+TEST(TaskAttempt, EmptySpecIsImmediatelyDone) {
+  TaskSpec t;
+  TaskAttempt a(t, sim::SimTime(0.0));
+  EXPECT_TRUE(a.done());
+  EXPECT_DOUBLE_EQ(a.progress(), 0.0);
+}
+
+}  // namespace
+}  // namespace perfcloud::wl

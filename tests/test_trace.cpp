@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "baselines/aimd.hpp"
+#include "core/cubic.hpp"
+#include "exp/trace.hpp"
+
+namespace perfcloud::exp {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream f(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(f, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(TraceRecorder, WritesAlignedCsv) {
+  sim::TimeSeries a("a");
+  a.add(sim::SimTime(1.0), 10.0);
+  a.add(sim::SimTime(2.0), 20.0);
+  sim::TimeSeries b("b");
+  b.add(sim::SimTime(2.0), 200.0);
+  b.add(sim::SimTime(3.0), 300.0);
+
+  TraceRecorder rec;
+  rec.add("alpha", a);
+  rec.add("beta", b);
+  EXPECT_EQ(rec.columns(), 2u);
+  const std::string path = "/tmp/perfcloud_trace_test.csv";
+  rec.write_csv(path);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[0], "t,alpha,beta");
+  EXPECT_EQ(lines[1], "1,10,");      // b missing at t=1
+  EXPECT_EQ(lines[2], "2,20,200");   // both present
+  EXPECT_EQ(lines[3], "3,,300");     // a missing at t=3
+}
+
+TEST(TraceRecorder, EmptyRecorderWritesHeaderOnly) {
+  TraceRecorder rec;
+  const std::string path = "/tmp/perfcloud_trace_empty.csv";
+  rec.write_csv(path);
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "t");
+}
+
+TEST(TraceRecorder, BadPathThrows) {
+  TraceRecorder rec;
+  EXPECT_THROW(rec.write_csv("/nonexistent-dir/x.csv"), std::runtime_error);
+}
+
+}  // namespace
+
+// --- AIMD ablation controller ---
+namespace {
+
+TEST(Aimd, StartsAtBaseline) {
+  base::AimdController c({}, 2.0e6);
+  EXPECT_DOUBLE_EQ(c.cap(), 1.0);
+  EXPECT_DOUBLE_EQ(c.cap_absolute(), 2.0e6);
+}
+
+TEST(Aimd, MultiplicativeDecreaseAdditiveIncrease) {
+  base::AimdController c(base::AimdController::Params{.beta = 0.8, .alpha = 0.1}, 1.0);
+  EXPECT_NEAR(c.step(true), 0.2, 1e-12);
+  EXPECT_NEAR(c.step(false), 0.3, 1e-12);
+  EXPECT_NEAR(c.step(false), 0.4, 1e-12);
+}
+
+TEST(Aimd, BottomsOutAtMinCap) {
+  base::AimdController c(base::AimdController::Params{.min_cap_fraction = 0.05}, 1.0);
+  for (int i = 0; i < 10; ++i) c.step(true);
+  EXPECT_DOUBLE_EQ(c.cap(), 0.05);
+}
+
+TEST(Aimd, LiftsAfterEnoughIncrease) {
+  base::AimdController c(base::AimdController::Params{.alpha = 0.5, .cap_lift_fraction = 2.0}, 1.0);
+  c.step(false);
+  EXPECT_FALSE(c.lifted());
+  c.step(false);
+  EXPECT_TRUE(c.lifted());
+}
+
+TEST(Aimd, LinearRecoveryIsSlowerThanCubicProbing) {
+  // After a decrease, CUBIC overtakes AIMD's linear ramp well before the
+  // lift point — the probing-region advantage the ablation bench measures.
+  core::PerfCloudConfig cfg;
+  core::CubicController cubic(cfg, 1.0);
+  base::AimdController aimd(base::AimdController::Params{}, 1.0);
+  cubic.step(true);
+  aimd.step(true);
+  double cubic_cap = 0.0;
+  double aimd_cap = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    cubic_cap = cubic.step(false);
+    aimd_cap = aimd.step(false);
+  }
+  EXPECT_GT(cubic_cap, aimd_cap);
+}
+
+}  // namespace
+}  // namespace perfcloud::exp

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "virt/hypervisor.hpp"
+
+namespace perfcloud::virt {
+namespace {
+
+/// Minimal guest: constant demand, counts what it receives.
+class ConstantGuest : public GuestWorkload {
+ public:
+  explicit ConstantGuest(hw::TenantDemand d) : d_(d) {}
+  hw::TenantDemand demand(sim::SimTime, double dt) override {
+    hw::TenantDemand scaled = d_;
+    scaled.cpu_core_seconds *= dt;
+    scaled.io_ops *= dt;
+    scaled.io_bytes *= dt;
+    return scaled;
+  }
+  void apply(const hw::TenantGrant& g, sim::SimTime, double) override {
+    total_instructions += g.instructions;
+    total_io_bytes += g.io_bytes;
+  }
+  [[nodiscard]] bool finished(sim::SimTime) const override { return false; }
+  [[nodiscard]] std::string_view name() const override { return "constant"; }
+
+  double total_instructions = 0.0;
+  double total_io_bytes = 0.0;
+
+ private:
+  hw::TenantDemand d_;
+};
+
+hw::TenantDemand busy_demand() {
+  hw::TenantDemand d;
+  d.cpu_core_seconds = 4.0;  // per second; will exceed 2 vCPUs
+  d.io_ops = 50.0;
+  d.io_bytes = 50.0 * 65536;
+  d.llc_footprint = 4.0 * 1024 * 1024;
+  d.mem_bw_per_cpu_sec = 0.3e9;
+  return d;
+}
+
+hw::ServerConfig quiet_server() {
+  hw::ServerConfig cfg;
+  cfg.disk.wait_jitter_sigma = 0.0;
+  cfg.memory.cpi_jitter_sigma = 0.0;
+  return cfg;
+}
+
+TEST(Cgroup, AccountAccumulates) {
+  Cgroup cg("test");
+  hw::TenantGrant g;
+  g.io_wait_seconds = 0.5;
+  g.io_ops = 10.0;
+  g.io_bytes = 4096.0;
+  g.cycles = 100.0;
+  g.instructions = 80.0;
+  g.llc_misses = 5.0;
+  g.cpu_core_seconds = 0.25;
+  cg.account(g);
+  cg.account(g);
+  EXPECT_DOUBLE_EQ(cg.stats().io_wait_time_ms, 1000.0);
+  EXPECT_DOUBLE_EQ(cg.stats().io_serviced_ops, 20.0);
+  EXPECT_DOUBLE_EQ(cg.stats().io_service_bytes, 8192.0);
+  EXPECT_DOUBLE_EQ(cg.stats().cycles, 200.0);
+  EXPECT_DOUBLE_EQ(cg.stats().instructions, 160.0);
+  EXPECT_DOUBLE_EQ(cg.stats().llc_misses, 10.0);
+  EXPECT_DOUBLE_EQ(cg.stats().cpu_time_s, 0.5);
+}
+
+TEST(Cgroup, CapsDefaultToUncapped) {
+  Cgroup cg("c");
+  EXPECT_EQ(cg.cpu_quota_cores(), hw::kNoCap);
+  EXPECT_EQ(cg.blkio_throttle_bps(), hw::kNoCap);
+  cg.set_cpu_quota_cores(1.5);
+  cg.set_blkio_throttle_bps(1e6);
+  EXPECT_DOUBLE_EQ(cg.cpu_quota_cores(), 1.5);
+  EXPECT_DOUBLE_EQ(cg.blkio_throttle_bps(), 1e6);
+  cg.clear_cpu_quota();
+  cg.clear_blkio_throttle();
+  EXPECT_EQ(cg.cpu_quota_cores(), hw::kNoCap);
+  EXPECT_EQ(cg.blkio_throttle_bps(), hw::kNoCap);
+}
+
+TEST(Vm, ConfigAccessors) {
+  VmConfig cfg;
+  cfg.id = 7;
+  cfg.name = "worker";
+  cfg.vcpus = 2;
+  cfg.priority = Priority::kHigh;
+  cfg.app_id = "hadoop";
+  Vm vm(cfg);
+  EXPECT_EQ(vm.id(), 7);
+  EXPECT_EQ(vm.name(), "worker");
+  EXPECT_EQ(vm.priority(), Priority::kHigh);
+  EXPECT_EQ(vm.app_id(), "hadoop");
+  EXPECT_TRUE(vm.idle(sim::SimTime(0.0)));
+}
+
+TEST(Vm, AttachedGuestMakesItBusy) {
+  Vm vm(VmConfig{.id = 1});
+  vm.attach(std::make_unique<ConstantGuest>(busy_demand()));
+  EXPECT_FALSE(vm.idle(sim::SimTime(0.0)));
+  vm.detach();
+  EXPECT_TRUE(vm.idle(sim::SimTime(0.0)));
+}
+
+TEST(Hypervisor, BootAndFind) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  hv.boot(VmConfig{.id = 1, .name = "a"});
+  hv.boot(VmConfig{.id = 2, .name = "b"});
+  EXPECT_NE(hv.find(1), nullptr);
+  EXPECT_EQ(hv.find(3), nullptr);
+  EXPECT_EQ(hv.vms().size(), 2u);
+}
+
+TEST(Hypervisor, DuplicateIdThrows) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  hv.boot(VmConfig{.id = 1});
+  EXPECT_THROW(hv.boot(VmConfig{.id = 1}), std::invalid_argument);
+}
+
+TEST(Hypervisor, UnknownVmThrows) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  EXPECT_THROW(hv.set_vcpu_quota(99, 1.0), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(hv.dom_stats(99)), std::invalid_argument);
+}
+
+TEST(Hypervisor, TickAccountsIntoCgroups) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  Vm& vm = hv.boot(VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<ConstantGuest>(busy_demand()));
+  for (int t = 1; t <= 10; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  const CgroupStats& st = hv.dom_stats(1);
+  EXPECT_GT(st.io_serviced_ops, 0.0);
+  EXPECT_GT(st.instructions, 0.0);
+  // vCPU clamp: 2 vCPUs for 1 simulated second.
+  EXPECT_NEAR(st.cpu_time_s, 2.0, 1e-6);
+}
+
+TEST(Hypervisor, VcpuQuotaLimitsCpu) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  Vm& vm = hv.boot(VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<ConstantGuest>(busy_demand()));
+  hv.set_vcpu_quota(1, 0.5);
+  for (int t = 1; t <= 10; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  EXPECT_NEAR(hv.dom_stats(1).cpu_time_s, 0.5, 1e-6);
+  hv.clear_vcpu_quota(1);
+  for (int t = 11; t <= 20; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  EXPECT_NEAR(hv.dom_stats(1).cpu_time_s, 2.5, 1e-6);
+}
+
+TEST(Hypervisor, BlkioThrottleLimitsBytes) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  Vm& vm = hv.boot(VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<ConstantGuest>(busy_demand()));
+  hv.set_blkio_throttle(1, 65536.0);  // 1 op/s worth
+  for (int t = 1; t <= 10; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  EXPECT_LE(hv.dom_stats(1).io_service_bytes, 65536.0 + 1e-6);
+}
+
+TEST(Hypervisor, IdleVmAccruesNothing) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  hv.boot(VmConfig{.id = 1});
+  for (int t = 1; t <= 5; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  EXPECT_DOUBLE_EQ(hv.dom_stats(1).cpu_time_s, 0.0);
+  EXPECT_DOUBLE_EQ(hv.dom_stats(1).io_serviced_ops, 0.0);
+}
+
+TEST(Hypervisor, GuestReceivesGrants) {
+  Hypervisor hv(quiet_server(), sim::Rng(1));
+  Vm& vm = hv.boot(VmConfig{.id = 1, .vcpus = 2});
+  auto guest = std::make_unique<ConstantGuest>(busy_demand());
+  ConstantGuest* raw = guest.get();
+  vm.attach(std::move(guest));
+  for (int t = 1; t <= 10; ++t) hv.tick(sim::SimTime(t * 0.1), 0.1);
+  EXPECT_GT(raw->total_instructions, 0.0);
+  EXPECT_GT(raw->total_io_bytes, 0.0);
+}
+
+}  // namespace
+}  // namespace perfcloud::virt

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "workloads/worker.hpp"
+
+namespace perfcloud::wl {
+namespace {
+
+TaskSpec compute_task(double instructions) {
+  TaskSpec t;
+  t.phases = {PhaseSpec{PhaseKind::kCompute, instructions, 0.0, 0.0}};
+  return t;
+}
+
+TaskSpec io_task(sim::Bytes bytes) {
+  TaskSpec t;
+  t.phases = {PhaseSpec{PhaseKind::kRead, 0.0, bytes / (512.0 * 1024), bytes}};
+  return t;
+}
+
+TEST(ScaleOutWorker, SlotAccounting) {
+  ScaleOutWorker w(2);
+  EXPECT_EQ(w.free_slots(), 2);
+  TaskAttempt a(compute_task(1e9), sim::SimTime(0.0));
+  TaskAttempt b(compute_task(1e9), sim::SimTime(0.0));
+  w.place(&a);
+  EXPECT_EQ(w.free_slots(), 1);
+  w.place(&b);
+  EXPECT_EQ(w.free_slots(), 0);
+  TaskAttempt c(compute_task(1e9), sim::SimTime(0.0));
+  EXPECT_THROW(w.place(&c), std::logic_error);
+  w.remove(&a);
+  EXPECT_EQ(w.free_slots(), 1);
+}
+
+TEST(ScaleOutWorker, RemoveUnknownIsNoop) {
+  ScaleOutWorker w(2);
+  TaskAttempt a(compute_task(1e9), sim::SimTime(0.0));
+  w.remove(&a);
+  EXPECT_EQ(w.free_slots(), 2);
+}
+
+TEST(ScaleOutWorker, IdleWorkerEmitsDaemonBaseline) {
+  ScaleOutWorker w(2);
+  const hw::TenantDemand d = w.demand(sim::SimTime(0.0), 1.0);
+  EXPECT_GT(d.cpu_core_seconds, 0.0);
+  EXPECT_LT(d.cpu_core_seconds, 0.1);
+  EXPECT_GT(d.io_ops, 0.0);
+}
+
+TEST(ScaleOutWorker, AggregatesTaskDemands) {
+  ScaleOutWorker w(2);
+  TaskAttempt a(compute_task(1e9), sim::SimTime(0.0));
+  TaskAttempt b(io_task(64.0e6), sim::SimTime(0.0));
+  w.place(&a);
+  w.place(&b);
+  const hw::TenantDemand d = w.demand(sim::SimTime(0.0), 1.0);
+  EXPECT_GT(d.cpu_core_seconds, 1.0);  // compute task wants a full core
+  EXPECT_GT(d.io_bytes, 1.0e6);        // io task reads
+}
+
+TEST(ScaleOutWorker, DistributesGrantByShares) {
+  ScaleOutWorker w(2);
+  TaskAttempt cpu_heavy(compute_task(1e9), sim::SimTime(0.0));
+  TaskAttempt io_heavy(io_task(64.0e6), sim::SimTime(0.0));
+  w.place(&cpu_heavy);
+  w.place(&io_heavy);
+  const hw::TenantDemand d = w.demand(sim::SimTime(0.0), 1.0);
+  hw::TenantGrant g;
+  g.instructions = 1e8;
+  g.io_ops = d.io_ops;
+  g.io_bytes = d.io_bytes;
+  w.apply(g, sim::SimTime(1.0), 1.0);
+  EXPECT_GT(cpu_heavy.progress(), 0.0);
+  EXPECT_GT(io_heavy.progress(), 0.0);
+}
+
+TEST(ScaleOutWorker, TaskRunsToCompletionUnderRepeatedTicks) {
+  ScaleOutWorker w(2);
+  TaskAttempt a(compute_task(1e8), sim::SimTime(0.0));
+  w.place(&a);
+  for (int t = 0; t < 1000 && !a.done(); ++t) {
+    const hw::TenantDemand d = w.demand(sim::SimTime(t * 0.1), 0.1);
+    hw::TenantGrant g;
+    g.cpu_core_seconds = d.cpu_core_seconds;
+    g.instructions = d.cpu_core_seconds * 2.3e9;
+    g.io_ops = d.io_ops;
+    g.io_bytes = d.io_bytes;
+    w.apply(g, sim::SimTime(t * 0.1), 0.1);
+  }
+  EXPECT_TRUE(a.done());
+}
+
+TEST(ScaleOutWorker, MemoryProfileIsCpuWeightedAverage) {
+  ScaleOutWorker w(2);
+  TaskSpec heavy = compute_task(1e9);
+  heavy.mem.bw_per_cpu_sec = 4.0e9;
+  TaskSpec light = compute_task(1e9);
+  light.mem.bw_per_cpu_sec = 1.0e9;
+  TaskAttempt a(heavy, sim::SimTime(0.0));
+  TaskAttempt b(light, sim::SimTime(0.0));
+  w.place(&a);
+  w.place(&b);
+  const hw::TenantDemand d = w.demand(sim::SimTime(0.0), 1.0);
+  EXPECT_NEAR(d.mem_bw_per_cpu_sec, 2.5e9, 0.1e9);
+}
+
+TEST(ScaleOutWorker, FootprintsSum) {
+  ScaleOutWorker w(2);
+  TaskSpec t1 = compute_task(1e9);
+  t1.mem.llc_footprint = 8.0e6;
+  TaskSpec t2 = compute_task(1e9);
+  t2.mem.llc_footprint = 6.0e6;
+  TaskAttempt a(t1, sim::SimTime(0.0));
+  TaskAttempt b(t2, sim::SimTime(0.0));
+  w.place(&a);
+  w.place(&b);
+  const hw::TenantDemand d = w.demand(sim::SimTime(0.0), 1.0);
+  EXPECT_GT(d.llc_footprint, 14.0e6);  // sum + daemon
+}
+
+}  // namespace
+}  // namespace perfcloud::wl
