@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_identification.dir/ablation_identification.cpp.o"
+  "CMakeFiles/ablation_identification.dir/ablation_identification.cpp.o.d"
+  "ablation_identification"
+  "ablation_identification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_identification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_numa.dir/ext_numa.cpp.o"
+  "CMakeFiles/ext_numa.dir/ext_numa.cpp.o.d"
+  "ext_numa"
+  "ext_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

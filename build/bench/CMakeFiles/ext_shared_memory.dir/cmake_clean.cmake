@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_shared_memory.dir/ext_shared_memory.cpp.o"
+  "CMakeFiles/ext_shared_memory.dir/ext_shared_memory.cpp.o.d"
+  "ext_shared_memory"
+  "ext_shared_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_shared_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_io_cap_sweep.dir/fig01_io_cap_sweep.cpp.o"
+  "CMakeFiles/fig01_io_cap_sweep.dir/fig01_io_cap_sweep.cpp.o.d"
+  "fig01_io_cap_sweep"
+  "fig01_io_cap_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_io_cap_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

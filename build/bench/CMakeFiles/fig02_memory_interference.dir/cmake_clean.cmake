@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_memory_interference.dir/fig02_memory_interference.cpp.o"
+  "CMakeFiles/fig02_memory_interference.dir/fig02_memory_interference.cpp.o.d"
+  "fig02_memory_interference"
+  "fig02_memory_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_memory_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_iowait_signal.dir/fig03_iowait_signal.cpp.o"
+  "CMakeFiles/fig03_iowait_signal.dir/fig03_iowait_signal.cpp.o.d"
+  "fig03_iowait_signal"
+  "fig03_iowait_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_iowait_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

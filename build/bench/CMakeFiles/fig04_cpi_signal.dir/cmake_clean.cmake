@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_cpi_signal.dir/fig04_cpi_signal.cpp.o"
+  "CMakeFiles/fig04_cpi_signal.dir/fig04_cpi_signal.cpp.o.d"
+  "fig04_cpi_signal"
+  "fig04_cpi_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_cpi_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

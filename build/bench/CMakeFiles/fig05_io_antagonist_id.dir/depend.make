@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_io_antagonist_id.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_cpu_antagonist_id.dir/fig06_cpu_antagonist_id.cpp.o"
+  "CMakeFiles/fig06_cpu_antagonist_id.dir/fig06_cpu_antagonist_id.cpp.o.d"
+  "fig06_cpu_antagonist_id"
+  "fig06_cpu_antagonist_id.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_cpu_antagonist_id.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_cubic_regions.dir/fig07_cubic_regions.cpp.o"
+  "CMakeFiles/fig07_cubic_regions.dir/fig07_cubic_regions.cpp.o.d"
+  "fig07_cubic_regions"
+  "fig07_cubic_regions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_cubic_regions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_dynamic_control.dir/fig09_dynamic_control.cpp.o"
+  "CMakeFiles/fig09_dynamic_control.dir/fig09_dynamic_control.cpp.o.d"
+  "fig09_dynamic_control"
+  "fig09_dynamic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_dynamic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

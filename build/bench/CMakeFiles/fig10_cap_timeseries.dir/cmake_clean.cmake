@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cap_timeseries.dir/fig10_cap_timeseries.cpp.o"
+  "CMakeFiles/fig10_cap_timeseries.dir/fig10_cap_timeseries.cpp.o.d"
+  "fig10_cap_timeseries"
+  "fig10_cap_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cap_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_large_scale.cpp" "bench/CMakeFiles/fig11_large_scale.dir/fig11_large_scale.cpp.o" "gcc" "bench/CMakeFiles/fig11_large_scale.dir/fig11_large_scale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/pc_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

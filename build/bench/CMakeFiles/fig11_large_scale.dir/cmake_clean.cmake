@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_large_scale.dir/fig11_large_scale.cpp.o"
+  "CMakeFiles/fig11_large_scale.dir/fig11_large_scale.cpp.o.d"
+  "fig11_large_scale"
+  "fig11_large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

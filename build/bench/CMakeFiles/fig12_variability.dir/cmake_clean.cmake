@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_variability.dir/fig12_variability.cpp.o"
+  "CMakeFiles/fig12_variability.dir/fig12_variability.cpp.o.d"
+  "fig12_variability"
+  "fig12_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perfcloud_sim.dir/perfcloud_sim.cpp.o"
+  "CMakeFiles/perfcloud_sim.dir/perfcloud_sim.cpp.o.d"
+  "perfcloud_sim"
+  "perfcloud_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perfcloud_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

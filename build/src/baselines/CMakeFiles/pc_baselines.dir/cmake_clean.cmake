@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_baselines.dir/late.cpp.o"
+  "CMakeFiles/pc_baselines.dir/late.cpp.o.d"
+  "libpc_baselines.a"
+  "libpc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

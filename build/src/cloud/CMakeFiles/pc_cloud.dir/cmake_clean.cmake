@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_cloud.dir/cloud_manager.cpp.o"
+  "CMakeFiles/pc_cloud.dir/cloud_manager.cpp.o.d"
+  "CMakeFiles/pc_cloud.dir/placement.cpp.o"
+  "CMakeFiles/pc_cloud.dir/placement.cpp.o.d"
+  "libpc_cloud.a"
+  "libpc_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cubic.cpp" "src/core/CMakeFiles/pc_core.dir/cubic.cpp.o" "gcc" "src/core/CMakeFiles/pc_core.dir/cubic.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/pc_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/pc_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/identifier.cpp" "src/core/CMakeFiles/pc_core.dir/identifier.cpp.o" "gcc" "src/core/CMakeFiles/pc_core.dir/identifier.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/core/CMakeFiles/pc_core.dir/monitor.cpp.o" "gcc" "src/core/CMakeFiles/pc_core.dir/monitor.cpp.o.d"
+  "/root/repo/src/core/node_manager.cpp" "src/core/CMakeFiles/pc_core.dir/node_manager.cpp.o" "gcc" "src/core/CMakeFiles/pc_core.dir/node_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/pc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/pc_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_core.dir/cubic.cpp.o"
+  "CMakeFiles/pc_core.dir/cubic.cpp.o.d"
+  "CMakeFiles/pc_core.dir/detector.cpp.o"
+  "CMakeFiles/pc_core.dir/detector.cpp.o.d"
+  "CMakeFiles/pc_core.dir/identifier.cpp.o"
+  "CMakeFiles/pc_core.dir/identifier.cpp.o.d"
+  "CMakeFiles/pc_core.dir/monitor.cpp.o"
+  "CMakeFiles/pc_core.dir/monitor.cpp.o.d"
+  "CMakeFiles/pc_core.dir/node_manager.cpp.o"
+  "CMakeFiles/pc_core.dir/node_manager.cpp.o.d"
+  "libpc_core.a"
+  "libpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

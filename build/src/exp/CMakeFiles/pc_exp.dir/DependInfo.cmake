@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/cluster.cpp" "src/exp/CMakeFiles/pc_exp.dir/cluster.cpp.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/cluster.cpp.o.d"
+  "/root/repo/src/exp/report.cpp" "src/exp/CMakeFiles/pc_exp.dir/report.cpp.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/report.cpp.o.d"
+  "/root/repo/src/exp/summary.cpp" "src/exp/CMakeFiles/pc_exp.dir/summary.cpp.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/summary.cpp.o.d"
+  "/root/repo/src/exp/trace.cpp" "src/exp/CMakeFiles/pc_exp.dir/trace.cpp.o" "gcc" "src/exp/CMakeFiles/pc_exp.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/pc_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_exp.dir/cluster.cpp.o"
+  "CMakeFiles/pc_exp.dir/cluster.cpp.o.d"
+  "CMakeFiles/pc_exp.dir/report.cpp.o"
+  "CMakeFiles/pc_exp.dir/report.cpp.o.d"
+  "CMakeFiles/pc_exp.dir/summary.cpp.o"
+  "CMakeFiles/pc_exp.dir/summary.cpp.o.d"
+  "CMakeFiles/pc_exp.dir/trace.cpp.o"
+  "CMakeFiles/pc_exp.dir/trace.cpp.o.d"
+  "libpc_exp.a"
+  "libpc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/allocation.cpp" "src/hw/CMakeFiles/pc_hw.dir/allocation.cpp.o" "gcc" "src/hw/CMakeFiles/pc_hw.dir/allocation.cpp.o.d"
+  "/root/repo/src/hw/cpu.cpp" "src/hw/CMakeFiles/pc_hw.dir/cpu.cpp.o" "gcc" "src/hw/CMakeFiles/pc_hw.dir/cpu.cpp.o.d"
+  "/root/repo/src/hw/disk.cpp" "src/hw/CMakeFiles/pc_hw.dir/disk.cpp.o" "gcc" "src/hw/CMakeFiles/pc_hw.dir/disk.cpp.o.d"
+  "/root/repo/src/hw/memory.cpp" "src/hw/CMakeFiles/pc_hw.dir/memory.cpp.o" "gcc" "src/hw/CMakeFiles/pc_hw.dir/memory.cpp.o.d"
+  "/root/repo/src/hw/server.cpp" "src/hw/CMakeFiles/pc_hw.dir/server.cpp.o" "gcc" "src/hw/CMakeFiles/pc_hw.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

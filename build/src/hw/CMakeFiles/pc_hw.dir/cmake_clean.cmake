@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_hw.dir/allocation.cpp.o"
+  "CMakeFiles/pc_hw.dir/allocation.cpp.o.d"
+  "CMakeFiles/pc_hw.dir/cpu.cpp.o"
+  "CMakeFiles/pc_hw.dir/cpu.cpp.o.d"
+  "CMakeFiles/pc_hw.dir/disk.cpp.o"
+  "CMakeFiles/pc_hw.dir/disk.cpp.o.d"
+  "CMakeFiles/pc_hw.dir/memory.cpp.o"
+  "CMakeFiles/pc_hw.dir/memory.cpp.o.d"
+  "CMakeFiles/pc_hw.dir/server.cpp.o"
+  "CMakeFiles/pc_hw.dir/server.cpp.o.d"
+  "libpc_hw.a"
+  "libpc_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

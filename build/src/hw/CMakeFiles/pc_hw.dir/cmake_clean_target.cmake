@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpc_hw.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_sim.dir/correlation.cpp.o"
+  "CMakeFiles/pc_sim.dir/correlation.cpp.o.d"
+  "CMakeFiles/pc_sim.dir/engine.cpp.o"
+  "CMakeFiles/pc_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/pc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/pc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/pc_sim.dir/rng.cpp.o"
+  "CMakeFiles/pc_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pc_sim.dir/stats.cpp.o"
+  "CMakeFiles/pc_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/pc_sim.dir/time_series.cpp.o"
+  "CMakeFiles/pc_sim.dir/time_series.cpp.o.d"
+  "libpc_sim.a"
+  "libpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

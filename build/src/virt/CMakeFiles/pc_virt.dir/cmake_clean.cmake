@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_virt.dir/hypervisor.cpp.o"
+  "CMakeFiles/pc_virt.dir/hypervisor.cpp.o.d"
+  "libpc_virt.a"
+  "libpc_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

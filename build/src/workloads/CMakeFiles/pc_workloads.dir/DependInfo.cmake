@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/antagonists.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/antagonists.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/antagonists.cpp.o.d"
+  "/root/repo/src/workloads/benchmarks.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/benchmarks.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/workloads/framework.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/framework.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/framework.cpp.o.d"
+  "/root/repo/src/workloads/job.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/job.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/job.cpp.o.d"
+  "/root/repo/src/workloads/mix.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/mix.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/mix.cpp.o.d"
+  "/root/repo/src/workloads/task.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/task.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/task.cpp.o.d"
+  "/root/repo/src/workloads/worker.cpp" "src/workloads/CMakeFiles/pc_workloads.dir/worker.cpp.o" "gcc" "src/workloads/CMakeFiles/pc_workloads.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/virt/CMakeFiles/pc_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pc_workloads.dir/antagonists.cpp.o"
+  "CMakeFiles/pc_workloads.dir/antagonists.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/benchmarks.cpp.o"
+  "CMakeFiles/pc_workloads.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/framework.cpp.o"
+  "CMakeFiles/pc_workloads.dir/framework.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/job.cpp.o"
+  "CMakeFiles/pc_workloads.dir/job.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/mix.cpp.o"
+  "CMakeFiles/pc_workloads.dir/mix.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/task.cpp.o"
+  "CMakeFiles/pc_workloads.dir/task.cpp.o.d"
+  "CMakeFiles/pc_workloads.dir/worker.cpp.o"
+  "CMakeFiles/pc_workloads.dir/worker.cpp.o.d"
+  "libpc_workloads.a"
+  "libpc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

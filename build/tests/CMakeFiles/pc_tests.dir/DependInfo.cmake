@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocation.cpp" "tests/CMakeFiles/pc_tests.dir/test_allocation.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_allocation.cpp.o.d"
+  "/root/repo/tests/test_antagonists.cpp" "tests/CMakeFiles/pc_tests.dir/test_antagonists.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_antagonists.cpp.o.d"
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/pc_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_benchmarks_extended.cpp" "tests/CMakeFiles/pc_tests.dir/test_benchmarks_extended.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_benchmarks_extended.cpp.o.d"
+  "/root/repo/tests/test_cloud.cpp" "tests/CMakeFiles/pc_tests.dir/test_cloud.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_cloud.cpp.o.d"
+  "/root/repo/tests/test_correlation.cpp" "tests/CMakeFiles/pc_tests.dir/test_correlation.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_correlation.cpp.o.d"
+  "/root/repo/tests/test_cpu.cpp" "tests/CMakeFiles/pc_tests.dir/test_cpu.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_cpu.cpp.o.d"
+  "/root/repo/tests/test_cubic.cpp" "tests/CMakeFiles/pc_tests.dir/test_cubic.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_cubic.cpp.o.d"
+  "/root/repo/tests/test_detector.cpp" "tests/CMakeFiles/pc_tests.dir/test_detector.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_detector.cpp.o.d"
+  "/root/repo/tests/test_disk.cpp" "tests/CMakeFiles/pc_tests.dir/test_disk.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_disk.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/pc_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/pc_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_exp.cpp" "tests/CMakeFiles/pc_tests.dir/test_exp.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_exp.cpp.o.d"
+  "/root/repo/tests/test_failures_skew.cpp" "tests/CMakeFiles/pc_tests.dir/test_failures_skew.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_failures_skew.cpp.o.d"
+  "/root/repo/tests/test_framework.cpp" "tests/CMakeFiles/pc_tests.dir/test_framework.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_framework.cpp.o.d"
+  "/root/repo/tests/test_hw_properties.cpp" "tests/CMakeFiles/pc_tests.dir/test_hw_properties.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_hw_properties.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/pc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_job.cpp" "tests/CMakeFiles/pc_tests.dir/test_job.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_job.cpp.o.d"
+  "/root/repo/tests/test_memory.cpp" "tests/CMakeFiles/pc_tests.dir/test_memory.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_memory.cpp.o.d"
+  "/root/repo/tests/test_migration.cpp" "tests/CMakeFiles/pc_tests.dir/test_migration.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_migration.cpp.o.d"
+  "/root/repo/tests/test_mix.cpp" "tests/CMakeFiles/pc_tests.dir/test_mix.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_mix.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/pc_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_node_manager.cpp" "tests/CMakeFiles/pc_tests.dir/test_node_manager.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_node_manager.cpp.o.d"
+  "/root/repo/tests/test_numa.cpp" "tests/CMakeFiles/pc_tests.dir/test_numa.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_numa.cpp.o.d"
+  "/root/repo/tests/test_perfcloud_properties.cpp" "tests/CMakeFiles/pc_tests.dir/test_perfcloud_properties.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_perfcloud_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/pc_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_server.cpp" "tests/CMakeFiles/pc_tests.dir/test_server.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_server.cpp.o.d"
+  "/root/repo/tests/test_shared_memory.cpp" "tests/CMakeFiles/pc_tests.dir/test_shared_memory.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_shared_memory.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/pc_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_stress.cpp" "tests/CMakeFiles/pc_tests.dir/test_stress.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_stress.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/pc_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_task.cpp" "tests/CMakeFiles/pc_tests.dir/test_task.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_task.cpp.o.d"
+  "/root/repo/tests/test_time_series.cpp" "tests/CMakeFiles/pc_tests.dir/test_time_series.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_time_series.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/pc_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_virt.cpp" "tests/CMakeFiles/pc_tests.dir/test_virt.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_virt.cpp.o.d"
+  "/root/repo/tests/test_worker.cpp" "tests/CMakeFiles/pc_tests.dir/test_worker.cpp.o" "gcc" "tests/CMakeFiles/pc_tests.dir/test_worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/pc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/pc_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/pc_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/pc_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
