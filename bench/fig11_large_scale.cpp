@@ -8,6 +8,7 @@
 //  (b) the same for Spark jobs;
 //  (c) resource-utilization efficiency (successful task time / all task
 //      time including killed clones and speculative copies).
+#include <functional>
 #include <iostream>
 #include <map>
 
@@ -15,8 +16,9 @@
 #include "baselines/late.hpp"
 #include "baselines/scheme.hpp"
 #include "common.hpp"
-#include "sim/stats.hpp"
+#include "exp/parallel_runner.hpp"
 #include "exp/report.hpp"
+#include "sim/stats.hpp"
 #include "workloads/mix.hpp"
 
 using namespace perfcloud;
@@ -74,7 +76,12 @@ SchemeResult run_mix(base::Scheme scheme, bool spark, bool clean) {
         base::LateSpeculator::Params{.min_runtime_s = 10.0}, total_slots));
   }
   if (scheme == base::Scheme::kPerfCloud && !clean) {
-    exp::enable_perfcloud(c, core::PerfCloudConfig{});
+    core::PerfCloudConfig cfg;
+    // Identification never looks past its correlation window, so bounding
+    // the monitor's suspect series there keeps long-run memory flat without
+    // changing any decision.
+    cfg.monitor_series_capacity = cfg.correlation_window;
+    exp::enable_perfcloud(c, cfg);
   }
 
   // Schedule job submissions at the mix arrival times. Dolly clones only
@@ -104,10 +111,14 @@ SchemeResult run_mix(base::Scheme scheme, bool spark, bool clean) {
   SchemeResult r;
   r.efficiency = c.framework->utilization_efficiency();
   for (std::size_t i = 0; i < mix.size(); ++i) {
+    // A cloned job's JCT is its *fastest* completed clone — first finisher
+    // wins by Dolly's design; the losers are killed or ignored.
     double jct = -1.0;
     for (const wl::JobId id : submitted[i]) {
       const wl::Job* job = c.framework->find_job(id);
-      if (job != nullptr && job->completed()) jct = job->jct();
+      if (job != nullptr && job->completed() && (jct < 0.0 || job->jct() < jct)) {
+        jct = job->jct();
+      }
     }
     r.jct.push_back(jct);
   }
@@ -151,17 +162,32 @@ int main() {
                                              base::Scheme::kDolly4, base::Scheme::kDolly6,
                                              base::Scheme::kPerfCloud};
 
+  const exp::ParallelRunner pool(exp::ParallelRunner::threads_from_env());
   std::cout << "Running the large-scale mixes (150 workers / 15 hosts, 100+100 jobs,\n"
                "5 schemes + 2 clean baselines); this takes a little while...\n";
+  // Thread count to stderr so stdout stays byte-identical across
+  // PERFCLOUD_THREADS settings.
+  std::cerr << "[fig11] running on " << pool.threads() << " thread(s)\n";
 
-  const SchemeResult clean_mr = run_mix(base::Scheme::kDefault, /*spark=*/false, /*clean=*/true);
-  const SchemeResult clean_sp = run_mix(base::Scheme::kDefault, /*spark=*/true, /*clean=*/true);
+  // Every run is a self-contained Cluster, so the 12 scheme x mix
+  // combinations execute concurrently; results come back in submission
+  // order, making the tables byte-identical across thread counts.
+  std::vector<std::function<SchemeResult()>> tasks;
+  tasks.emplace_back([] { return run_mix(base::Scheme::kDefault, /*spark=*/false, /*clean=*/true); });
+  tasks.emplace_back([] { return run_mix(base::Scheme::kDefault, /*spark=*/true, /*clean=*/true); });
+  for (const base::Scheme s : schemes) {
+    tasks.emplace_back([s] { return run_mix(s, /*spark=*/false, /*clean=*/false); });
+    tasks.emplace_back([s] { return run_mix(s, /*spark=*/true, /*clean=*/false); });
+  }
+  std::vector<SchemeResult> results = pool.run(tasks);
 
+  const SchemeResult clean_mr = std::move(results[0]);
+  const SchemeResult clean_sp = std::move(results[1]);
   std::map<base::Scheme, SchemeResult> mr;
   std::map<base::Scheme, SchemeResult> sp;
-  for (const base::Scheme s : schemes) {
-    mr.emplace(s, run_mix(s, false, false));
-    sp.emplace(s, run_mix(s, true, false));
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    mr.emplace(schemes[i], std::move(results[2 + 2 * i]));
+    sp.emplace(schemes[i], std::move(results[2 + 2 * i + 1]));
   }
 
   print_breakdown("Fig 11(a) MapReduce mix", schemes, mr, clean_mr);

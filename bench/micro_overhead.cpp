@@ -8,6 +8,7 @@
 #include "core/identifier.hpp"
 #include "core/monitor.hpp"
 #include "exp/cluster.hpp"
+#include "exp/parallel_runner.hpp"
 #include "sim/correlation.hpp"
 #include "workloads/benchmarks.hpp"
 
@@ -109,6 +110,51 @@ void BM_PearsonIdentification(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PearsonIdentification)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_PearsonIdentificationIncremental(benchmark::State& state) {
+  // The rolling-accumulator path the node manager runs per control interval,
+  // same shape as BM_PearsonIdentification for comparison. The series keep
+  // growing across iterations (as in a real run); the incremental scorer
+  // only consumes the newest sample.
+  const auto n_suspects = state.range(0);
+  sim::Rng rng(5);
+  sim::TimeSeries victim;
+  std::vector<sim::TimeSeries> suspects(static_cast<std::size_t>(n_suspects));
+  core::AntagonistIdentifier ident{core::PerfCloudConfig{}};
+  std::vector<core::SuspectSignal> sig;
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    sig.push_back(core::SuspectSignal{static_cast<int>(i), &suspects[i]});
+  }
+  int tick = 0;
+  for (auto _ : state) {
+    victim.add(sim::SimTime(tick * 5.0), rng.uniform());
+    for (auto& s : suspects) s.add(sim::SimTime(tick * 5.0), rng.uniform());
+    ++tick;
+    benchmark::DoNotOptimize(ident.score_incremental(victim, sig));
+  }
+}
+BENCHMARK(BM_PearsonIdentificationIncremental)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParallelExperimentRuns(benchmark::State& state) {
+  // Independent scheme runs through the ParallelRunner: 4 self-contained
+  // mini-clusters per iteration, at 1/2/4 worker threads. Wall time should
+  // shrink with the thread count (up to the host's core count).
+  const exp::ParallelRunner pool(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<std::function<double()>> tasks;
+    for (int i = 0; i < 4; ++i) {
+      tasks.emplace_back([i] {
+        exp::ClusterParams p;
+        p.workers = 4;
+        p.seed = 100 + static_cast<std::uint64_t>(i);
+        exp::Cluster c = exp::make_cluster(p);
+        return exp::run_job(c, wl::make_terasort(8, 8));
+      });
+    }
+    benchmark::DoNotOptimize(pool.run(tasks));
+  }
+}
+BENCHMARK(BM_ParallelExperimentRuns)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void BM_HostTick(benchmark::State& state) {
   // Cost of one arbitration tick for a full 12-VM host.

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+# Usage: scripts/check.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j "$(nproc)"
+UBSAN_OPTIONS=halt_on_error=1 ctest --preset asan -j "$(nproc)" "$@"

@@ -44,6 +44,13 @@ struct PerfCloudConfig {
   /// if its mean usage over the window is at least this fraction of the
   /// heaviest suspect's.
   double min_usage_fraction = 0.25;
+  /// Bound each suspect-side monitor series (I/O throughput, LLC miss rate)
+  /// to this many most-recent samples; 0 = unbounded. Identification looks
+  /// at most `correlation_window` samples back, so any bound >= that window
+  /// yields identical decisions while monitor memory stops growing over long
+  /// runs. Default 0 because the small-scale figure benches plot entire
+  /// suspect histories; the large-scale benches bound it.
+  std::size_t monitor_series_capacity = 0;
   /// A suspect whose correlation crossed the threshold within this many
   /// seconds is still considered identified when contention is detected:
   /// the clearest correlation evidence appears at the antagonist's arrival,

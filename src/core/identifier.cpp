@@ -1,10 +1,29 @@
 #include "core/identifier.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sim/correlation.hpp"
 
 namespace perfcloud::core {
+
+namespace {
+
+/// Shared threshold logic: a suspect is an antagonist when its correlation
+/// evidence crosses the threshold AND it is heavy enough relative to the
+/// heaviest suspect (the §III-B magnitude gate).
+void finalize_scores(const PerfCloudConfig& cfg, const std::vector<double>& usage,
+                     double max_usage, std::vector<SuspectScore>& out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    SuspectScore& score = out[i];
+    const double evidence =
+        cfg.use_absolute_correlation ? std::abs(score.correlation) : score.correlation;
+    const bool heavy_enough = usage[i] >= cfg.min_usage_fraction * max_usage;
+    score.antagonist = evidence >= cfg.correlation_threshold && heavy_enough;
+  }
+}
+
+}  // namespace
 
 std::vector<SuspectScore> AntagonistIdentifier::score(
     const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects) const {
@@ -30,12 +49,61 @@ std::vector<SuspectScore> AntagonistIdentifier::score(
       score.correlation =
           sim::pearson_missing_as_zero(victim_signal, *s.series, cfg_.correlation_window);
     }
-    const double evidence =
-        cfg_.use_absolute_correlation ? std::abs(score.correlation) : score.correlation;
-    const bool heavy_enough = usage[i] >= cfg_.min_usage_fraction * max_usage;
-    score.antagonist = evidence >= cfg_.correlation_threshold && heavy_enough;
     out.push_back(score);
   }
+  finalize_scores(cfg_, usage, max_usage, out);
+  return out;
+}
+
+AntagonistIdentifier::PairState& AntagonistIdentifier::pair_state(const sim::TimeSeries* victim,
+                                                                  int vm_id) {
+  const auto key = std::make_pair(victim, vm_id);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    it = pairs_.try_emplace(key, PairState{sim::RollingCorrelation(cfg_.correlation_window), 0})
+             .first;
+    // A pair discovered mid-run only needs the victim's current window: the
+    // rolling accumulator would evict anything older anyway.
+    const std::size_t n = victim->size();
+    it->second.consumed = n > cfg_.correlation_window ? n - cfg_.correlation_window : 0;
+  }
+  return it->second;
+}
+
+std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
+    const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects) {
+  std::vector<SuspectScore> out;
+  if (victim_signal.size() < cfg_.min_correlation_samples) return out;
+  out.reserve(suspects.size());
+
+  const std::size_t n = victim_signal.size();
+  std::vector<double> usage(suspects.size(), 0.0);
+  double max_usage = 0.0;
+
+  for (std::size_t i = 0; i < suspects.size(); ++i) {
+    const SuspectSignal& s = suspects[i];
+    SuspectScore score;
+    score.vm_id = s.vm_id;
+    if (s.series != nullptr) {
+      PairState& st = pair_state(&victim_signal, s.vm_id);
+      if (st.consumed > n) {
+        // The victim series shrank (cleared/restarted): replay its window.
+        st.corr.reset();
+        st.consumed = n > cfg_.correlation_window ? n - cfg_.correlation_window : 0;
+      }
+      for (std::size_t k = st.consumed; k < n; ++k) {
+        const sim::SimTime t = victim_signal.time(k);
+        const double y = s.series->value_at(t).value_or(0.0);
+        st.corr.push(victim_signal.value(k), y);
+      }
+      st.consumed = n;
+      score.correlation = st.corr.correlation();
+      usage[i] = st.corr.mean_y();
+    }
+    max_usage = std::max(max_usage, usage[i]);
+    out.push_back(score);
+  }
+  finalize_scores(cfg_, usage, max_usage, out);
   return out;
 }
 

@@ -7,9 +7,12 @@
 // missing at some victim sample times are treated as zero.
 #pragma once
 
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
+#include "sim/rolling_correlation.hpp"
 #include "sim/time_series.hpp"
 
 namespace perfcloud::core {
@@ -32,11 +35,41 @@ class AntagonistIdentifier {
   /// Score every suspect against the victim deviation signal. Returns an
   /// empty vector until the victim signal has the configured minimum number
   /// of samples (Fig 5c: three suffice).
+  ///
+  /// Batch path: re-aligns and re-sums the whole correlation window,
+  /// O(window + log n) per suspect per call. Kept for one-shot analyses
+  /// (figure benches) and as the reference the incremental path is tested
+  /// against.
   [[nodiscard]] std::vector<SuspectScore> score(const sim::TimeSeries& victim_signal,
                                                 const std::vector<SuspectSignal>& suspects) const;
 
+  /// Same scores, computed incrementally: per (victim, suspect) pair a
+  /// RollingCorrelation accumulator ingests only the victim samples that
+  /// arrived since the previous call (normally one per control interval),
+  /// aligning each against the suspect at that timestamp (missing -> 0).
+  /// Amortized O(1) per suspect per call instead of O(window + log n).
+  ///
+  /// Requirements: both series objects must be stable in memory and
+  /// append-only in time between calls (the node manager's signal stores and
+  /// the monitor's per-VM series satisfy this). A victim series that shrank
+  /// (cleared) resets its pair states. Bounded (ring-buffer) suspect series
+  /// are fine as long as their capacity covers the correlation window.
+  [[nodiscard]] std::vector<SuspectScore> score_incremental(
+      const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects);
+
  private:
+  struct PairState {
+    sim::RollingCorrelation corr;
+    std::size_t consumed = 0;  ///< Victim samples already pushed.
+  };
+
+  PairState& pair_state(const sim::TimeSeries* victim, int vm_id);
+
   PerfCloudConfig cfg_;
+  /// Keyed by (victim series identity, suspect VM id): one identifier serves
+  /// several victim signals (I/O and CPI, per application). Entries for
+  /// departed suspects linger; the population is bounded by VMs-per-host.
+  std::map<std::pair<const sim::TimeSeries*, int>, PairState> pairs_;
 };
 
 }  // namespace perfcloud::core

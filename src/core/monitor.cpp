@@ -13,6 +13,8 @@ PerformanceMonitor::PerVm& PerformanceMonitor::state(int vm_id) {
     it->second.io_bps = sim::Ewma(cfg_.ewma_alpha);
     it->second.llc_rate = sim::Ewma(cfg_.ewma_alpha);
     it->second.cpu_cores = sim::Ewma(cfg_.ewma_alpha);
+    it->second.io_series.set_capacity(cfg_.monitor_series_capacity);
+    it->second.llc_series.set_capacity(cfg_.monitor_series_capacity);
   }
   return it->second;
 }

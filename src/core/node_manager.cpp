@@ -83,11 +83,11 @@ void NodeManager::control_step(sim::SimTime now) {
       io_suspects.push_back(SuspectSignal{id, &monitor_.io_throughput_series(id)});
       cpu_suspects.push_back(SuspectSignal{id, &monitor_.llc_miss_series(id)});
     }
-    for (const SuspectScore& s : identifier_.score(io_sig, io_suspects)) {
+    for (const SuspectScore& s : identifier_.score_incremental(io_sig, io_suspects)) {
       io_scores_.push_back(s);
       if (s.antagonist) io_identified_at_[s.vm_id] = now;
     }
-    for (const SuspectScore& s : identifier_.score(cpi_sig, cpu_suspects)) {
+    for (const SuspectScore& s : identifier_.score_incremental(cpi_sig, cpu_suspects)) {
       cpu_scores_.push_back(s);
       if (s.antagonist) cpu_identified_at_[s.vm_id] = now;
     }

@@ -1,46 +1,49 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
-#include <limits>
+#include <stdexcept>
+#include <string>
 
 namespace perfcloud::sim {
 
 Engine::Engine(std::uint64_t seed) : rng_(seed) {}
 
 EventHandle Engine::at(SimTime t, EventQueue::Callback cb) {
-  assert(t >= now_);
+  if (t < now_) {
+    throw std::invalid_argument("Engine::at: time " + std::to_string(t.seconds()) +
+                                " is before now " + std::to_string(now_.seconds()));
+  }
   return queue_.schedule(t, std::move(cb));
 }
 
 EventHandle Engine::after(double dt, EventQueue::Callback cb) {
-  assert(dt >= 0.0);
+  if (dt < 0.0) {
+    throw std::invalid_argument("Engine::after: negative delay " + std::to_string(dt));
+  }
   return queue_.schedule(now_ + dt, std::move(cb));
 }
 
 void Engine::every(double period, PeriodicFn fn, SimTime start) {
-  assert(period > 0.0);
+  if (!(period > 0.0)) {
+    throw std::invalid_argument("Engine::every: non-positive period " + std::to_string(period));
+  }
   const SimTime first = start >= now_ ? start : now_;
   periodics_.push_back(Periodic{period, std::move(fn), first});
+  due_.push(DueEntry{first, periodics_.size() - 1});
 }
 
 void Engine::fire_due_periodics(SimTime t) {
   // Fire periodics in (time, registration-index) order until none is due at
-  // or before t. A periodic callback may register further periodics; those
-  // start no earlier than `now_`, so index-based iteration stays valid.
-  for (;;) {
-    std::size_t best = periodics_.size();
-    SimTime best_t = SimTime::infinity();
-    for (std::size_t i = 0; i < periodics_.size(); ++i) {
-      if (periodics_[i].next <= t && periodics_[i].next < best_t) {
-        best = i;
-        best_t = periodics_[i].next;
-      }
-    }
-    if (best == periodics_.size()) return;
-    now_ = best_t;
-    Periodic& p = periodics_[best];
+  // or before t. A periodic callback may register further periodics; `every`
+  // pushes their heap node, and they start no earlier than `now_`, so they
+  // join this batch in the correct order if due.
+  while (!due_.empty() && due_.top().next <= t) {
+    const DueEntry e = due_.top();
+    due_.pop();
+    now_ = e.next;
+    Periodic& p = periodics_[e.index];
     p.next = p.next + p.period;
+    due_.push(DueEntry{p.next, e.index});
     p.fn(now_);
     if (stopped_) return;
   }
@@ -53,8 +56,7 @@ SimTime Engine::run_until(SimTime t_end) {
 SimTime Engine::run_while(const std::function<bool()>& keep_going, SimTime t_end) {
   stopped_ = false;
   while (!stopped_ && keep_going()) {
-    SimTime next_periodic = SimTime::infinity();
-    for (const Periodic& p : periodics_) next_periodic = std::min(next_periodic, p.next);
+    const SimTime next_periodic = next_periodic_time();
     const SimTime next_event = queue_.next_time();
     const SimTime next = std::min(next_periodic, next_event);
     if (next > t_end || next == SimTime::infinity()) {

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <functional>
+#include <queue>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -17,6 +18,11 @@ namespace perfcloud::sim {
 /// Periodic activities registered with the same period fire in registration
 /// order at each multiple of the period — deterministic, which matters
 /// because arbitration must run before monitors sample its results.
+///
+/// The next-due periodic is tracked in a min-heap keyed by
+/// (next_fire, registration_index): finding the next one is O(1) and each
+/// firing re-inserts in O(log P), instead of the former linear scan per
+/// event (O(P) per event, O(P^2) per simultaneous batch).
 class Engine {
  public:
   using PeriodicFn = std::function<void(SimTime)>;
@@ -26,15 +32,19 @@ class Engine {
   [[nodiscard]] SimTime now() const { return now_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
-  /// Schedule a one-shot event at absolute time `t` (>= now).
+  /// Schedule a one-shot event at absolute time `t`.
+  /// Throws std::invalid_argument if `t` is in the past (t < now()).
   EventHandle at(SimTime t, EventQueue::Callback cb);
   /// Schedule a one-shot event `dt` seconds from now.
+  /// Throws std::invalid_argument if `dt` is negative.
   EventHandle after(double dt, EventQueue::Callback cb);
   bool cancel(EventHandle h) { return queue_.cancel(h); }
 
   /// Register a periodic activity firing every `period` seconds, first at
-  /// time `start`. Runs until the engine stops; there is no deregistration
-  /// because entities live as long as the experiment.
+  /// time `start` (clamped up to now() if it lies in the past). Runs until
+  /// the engine stops; there is no deregistration because entities live as
+  /// long as the experiment.
+  /// Throws std::invalid_argument if `period` is not positive.
   void every(double period, PeriodicFn fn, SimTime start = SimTime(0.0));
 
   /// Run until the queue drains or `t_end` is reached, whichever is first.
@@ -56,14 +66,29 @@ class Engine {
     SimTime next;
   };
 
-  void pump_periodics_until(SimTime t);
-  /// Fire all periodics due at exactly their next times <= t, in a globally
-  /// time-ordered, registration-stable order.
+  /// One heap node per registered periodic, keyed by its pending fire time.
+  /// Each periodic has exactly one outstanding node at any moment: firing
+  /// pops it and pushes the advanced time back.
+  struct DueEntry {
+    SimTime next;
+    std::size_t index;  ///< Registration index into periodics_.
+    bool operator>(const DueEntry& other) const {
+      if (next != other.next) return next > other.next;
+      return index > other.index;
+    }
+  };
+
+  /// Fire all periodics due at or before `t`, in a globally time-ordered,
+  /// registration-stable order.
   void fire_due_periodics(SimTime t);
+  [[nodiscard]] SimTime next_periodic_time() const {
+    return due_.empty() ? SimTime::infinity() : due_.top().next;
+  }
 
   SimTime now_{0.0};
   EventQueue queue_;
   std::vector<Periodic> periodics_;
+  std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<>> due_;
   Rng rng_;
   bool stopped_ = false;
 };

@@ -1,49 +1,57 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace perfcloud::sim {
 
+std::uint32_t EventQueue::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t index = free_head_;
+    free_head_ = slots_[index].next_free;
+    slots_[index].next_free = kNoSlot;
+    slots_[index].live = true;
+    return index;
+  }
+  slots_.push_back(Slot{});
+  slots_.back().live = true;
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void EventQueue::release_slot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.cb = nullptr;  // free captured state eagerly
+  s.live = false;
+  ++s.generation;  // stale heap entries and handles stop matching
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
 EventHandle EventQueue::schedule(SimTime t, Callback cb) {
-  const std::uint64_t id = next_id_++;
-  heap_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace_back(id, std::move(cb));
+  const std::uint32_t index = acquire_slot();
+  Slot& s = slots_[index];
+  s.cb = std::move(cb);
+  heap_.push(Entry{t, next_seq_++, index, s.generation});
   ++live_;
-  return EventHandle{id};
-}
-
-EventQueue::Callback* EventQueue::find_callback(std::uint64_t id) {
-  // callbacks_ stays sorted by id because ids are assigned monotonically and
-  // appended in order.
-  const auto it = std::lower_bound(callbacks_.begin(), callbacks_.end(), id,
-                                   [](const auto& p, std::uint64_t v) { return p.first < v; });
-  if (it == callbacks_.end() || it->first != id) return nullptr;
-  return &it->second;
-}
-
-void EventQueue::erase_callback(std::uint64_t id) {
-  const auto it = std::lower_bound(callbacks_.begin(), callbacks_.end(), id,
-                                   [](const auto& p, std::uint64_t v) { return p.first < v; });
-  if (it != callbacks_.end() && it->first == id) callbacks_.erase(it);
+  return EventHandle{index + 1, s.generation};
 }
 
 bool EventQueue::cancel(EventHandle h) {
-  if (!h.valid()) return false;
-  if (find_callback(h.id) == nullptr) return false;
-  erase_callback(h.id);
+  if (!h.valid() || h.slot > slots_.size()) return false;
+  const std::uint32_t index = h.slot - 1;
+  Slot& s = slots_[index];
+  if (!s.live || s.generation != h.generation) return false;
+  release_slot(index);
   --live_;
   return true;
 }
 
 void EventQueue::drop_cancelled() const {
-  // const_cast-free lazily skipping requires mutable heap_; we only remove
-  // entries whose callback is gone, which does not change observable state.
-  auto* self = const_cast<EventQueue*>(this);
   while (!heap_.empty()) {
     const Entry& top = heap_.top();
-    if (self->find_callback(top.id) != nullptr) return;
-    self->heap_.pop();
+    const Slot& s = slots_[top.slot];
+    if (s.live && s.generation == top.generation) return;
+    heap_.pop();
   }
 }
 
@@ -62,10 +70,10 @@ bool EventQueue::run_next() {
   if (heap_.empty()) return false;
   const Entry top = heap_.top();
   heap_.pop();
-  Callback* cb = find_callback(top.id);
-  assert(cb != nullptr);
-  Callback fn = std::move(*cb);
-  erase_callback(top.id);
+  Slot& s = slots_[top.slot];
+  assert(s.live && s.generation == top.generation);
+  Callback fn = std::move(s.cb);
+  release_slot(top.slot);
   --live_;
   fn(top.t);
   return true;

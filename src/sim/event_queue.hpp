@@ -11,19 +11,26 @@
 namespace perfcloud::sim {
 
 /// Handle returned when scheduling an event; can be used to cancel it.
-/// Handles are never reused within one queue instance.
+///
+/// A handle names a storage slot plus the generation the slot had when the
+/// event was scheduled. Slots are recycled after an event fires or is
+/// cancelled, but recycling bumps the generation, so a stale handle can
+/// never cancel the wrong event (until a slot's 32-bit generation wraps,
+/// i.e. after ~4 billion reuses of one slot).
 struct EventHandle {
-  std::uint64_t id = 0;
-  [[nodiscard]] bool valid() const { return id != 0; }
+  std::uint32_t slot = 0;  ///< 1-based slot index; 0 = invalid.
+  std::uint32_t generation = 0;
+  [[nodiscard]] bool valid() const { return slot != 0; }
 };
 
 /// Min-heap of timed callbacks with stable FIFO ordering for simultaneous
 /// events (ties broken by insertion sequence, so behaviour is deterministic).
 ///
-/// Cancellation is lazy: cancelled entries stay in the heap and are skipped
-/// on pop. This keeps cancel() O(log n)-free and is cheap because cancelled
-/// events (killed speculative tasks, aborted clones) are a small fraction of
-/// the total.
+/// Callbacks live in a slot map: a free-list-indexed vector whose entries
+/// are generation-tagged. Scheduling is O(log n) for the heap push plus O(1)
+/// slot acquisition; cancellation is O(1) (release the slot, leave the heap
+/// entry to be skipped lazily); dispatch is O(log n) pop plus O(1) callback
+/// retrieval. Nothing ever searches or compacts a sorted callback array.
 class EventQueue {
  public:
   using Callback = std::function<void(SimTime)>;
@@ -47,10 +54,20 @@ class EventQueue {
   bool run_next();
 
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = kNoSlot;  ///< Free-list link; kNoSlot when live.
+    bool live = false;
+  };
+
   struct Entry {
     SimTime t;
     std::uint64_t seq;
-    std::uint64_t id;
+    std::uint32_t slot;        ///< 0-based index into slots_.
+    std::uint32_t generation;  ///< Slot generation at schedule time.
     // Heap invariant: earliest time first, then lowest sequence number.
     bool operator>(const Entry& other) const {
       if (t != other.t) return t > other.t;
@@ -58,16 +75,16 @@ class EventQueue {
     }
   };
 
+  /// Pop heap entries whose slot generation no longer matches (cancelled).
   void drop_cancelled() const;
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
 
   mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::vector<std::pair<std::uint64_t, Callback>> callbacks_;  // id -> cb (sorted by id)
-  std::uint64_t next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_ = 0;
-
-  Callback* find_callback(std::uint64_t id);
-  void erase_callback(std::uint64_t id);
 };
 
 }  // namespace perfcloud::sim

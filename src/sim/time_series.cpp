@@ -8,8 +8,21 @@ namespace perfcloud::sim {
 
 void TimeSeries::add(SimTime t, double value) {
   assert(times_.empty() || t >= times_.back());
+  if (capacity_ > 0 && times_.size() == capacity_) {
+    times_.erase(times_.begin());
+    values_.erase(values_.begin());
+  }
   times_.push_back(t);
   values_.push_back(value);
+}
+
+void TimeSeries::set_capacity(std::size_t n) {
+  capacity_ = n;
+  if (capacity_ > 0 && times_.size() > capacity_) {
+    const auto drop = static_cast<std::ptrdiff_t>(times_.size() - capacity_);
+    times_.erase(times_.begin(), times_.begin() + drop);
+    values_.erase(values_.begin(), values_.begin() + drop);
+  }
 }
 
 void TimeSeries::clear() {
@@ -34,6 +47,14 @@ std::vector<double> TimeSeries::normalized_by_peak() const {
   if (p <= 0.0) return out;
   for (std::size_t i = 0; i < values_.size(); ++i) out[i] = values_[i] / p;
   return out;
+}
+
+std::optional<double> TimeSeries::value_at(SimTime t, double tol) const {
+  if (times_.empty()) return std::nullopt;
+  if (std::abs(times_.back().seconds() - t.seconds()) <= tol) return values_.back();
+  const auto it = std::lower_bound(times_.begin(), times_.end(), SimTime(t.seconds() - tol));
+  if (it == times_.end() || std::abs(it->seconds() - t.seconds()) > tol) return std::nullopt;
+  return values_[static_cast<std::size_t>(it - times_.begin())];
 }
 
 std::optional<double> TimeSeries::at_or_before(SimTime t) const {

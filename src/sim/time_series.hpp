@@ -18,13 +18,28 @@ namespace perfcloud::sim {
 /// VM that is idle has no LLC-miss sample); alignment helpers below implement
 /// the paper's policy of treating missing values as zero rather than
 /// omitting them (§III-B).
+///
+/// A series may be *bounded*: with a capacity set, `add` evicts the oldest
+/// sample once the series is full, so it always holds the most recent
+/// `capacity` samples. Monitors use this so suspect-side series stop growing
+/// without bound over long runs — identification only ever looks a window
+/// back. Storage stays contiguous (the spans below remain valid views of the
+/// whole series), so eviction is a small front-shift of at most `capacity`
+/// elements rather than a pointer-chasing ring.
 class TimeSeries {
  public:
   TimeSeries() = default;
   explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+  TimeSeries(std::string name, std::size_t capacity)
+      : name_(std::move(name)), capacity_(capacity) {}
 
   void add(SimTime t, double value);
   void clear();
+
+  /// Bound the series to the most recent `n` samples (0 = unbounded).
+  /// Shrinking below the current size evicts the oldest samples now.
+  void set_capacity(std::size_t n);
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] std::size_t size() const { return times_.size(); }
@@ -48,8 +63,14 @@ class TimeSeries {
   /// series has no sample at or before `t`.
   [[nodiscard]] std::optional<double> at_or_before(SimTime t) const;
 
+  /// Value of the sample taken at exactly `t` (within `tol` seconds);
+  /// nullopt if no sample exists there. O(1) when `t` is the newest sample
+  /// time (the monitor/identifier hot path), O(log n) otherwise.
+  [[nodiscard]] std::optional<double> value_at(SimTime t, double tol = 1e-6) const;
+
  private:
   std::string name_;
+  std::size_t capacity_ = 0;  ///< 0 = unbounded.
   std::vector<SimTime> times_;
   std::vector<double> values_;
 };

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -134,6 +137,84 @@ TEST(Engine, DrainsAndReportsFinalTime) {
   e.at(SimTime(2.0), [](SimTime) {});
   const SimTime end = e.run_until(SimTime(10.0));
   EXPECT_DOUBLE_EQ(end.seconds(), 10.0);
+}
+
+TEST(Engine, AtInThePastThrows) {
+  Engine e;
+  e.at(SimTime(1.0), [](SimTime) {});
+  e.run_until(SimTime(2.0));
+  EXPECT_THROW(e.at(SimTime(1.5), [](SimTime) {}), std::invalid_argument);
+  e.at(SimTime(2.0), [](SimTime) {});  // exactly now is fine
+}
+
+TEST(Engine, AfterNegativeDelayThrows) {
+  Engine e;
+  EXPECT_THROW(e.after(-0.1, [](SimTime) {}), std::invalid_argument);
+  e.after(0.0, [](SimTime) {});  // zero delay is fine
+}
+
+TEST(Engine, EveryNonPositivePeriodThrows) {
+  Engine e;
+  EXPECT_THROW(e.every(0.0, [](SimTime) {}), std::invalid_argument);
+  EXPECT_THROW(e.every(-1.0, [](SimTime) {}), std::invalid_argument);
+}
+
+TEST(Engine, PeriodicRegisteredFromCallbackJoinsSameBatchInOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.every(10.0,
+          [&](SimTime) {
+            order.push_back(1);
+            if (order.size() == 1) {
+              // Registered mid-batch with start <= now: fires right after the
+              // already-due periodics of this timestamp, by registration index.
+              e.every(10.0, [&](SimTime) { order.push_back(2); }, SimTime(0.0));
+            }
+          },
+          SimTime(10.0));
+  e.run_until(SimTime(25.0));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
+}
+
+/// The documented dispatch order — (time, registration-index) for periodics,
+/// periodics before same-timestamp one-shot events, FIFO among simultaneous
+/// events — pinned against a hand-computed golden trace. Any scheduler
+/// change that reorders the seed semantics fails here.
+TEST(Engine, GoldenTraceDeterminism) {
+  const auto run_trace = [] {
+    Engine e(123);
+    std::vector<std::pair<std::string, double>> trace;
+    const auto rec = [&trace](std::string tag) {
+      return [&trace, tag = std::move(tag)](SimTime t) { trace.emplace_back(tag, t.seconds()); };
+    };
+    e.every(2.0, rec("p0/2s"), SimTime(2.0));
+    e.every(3.0, rec("p1/3s"), SimTime(0.0));
+    e.every(2.0, rec("p2/2s"), SimTime(2.0));
+    e.at(SimTime(2.0), rec("e@2"));
+    e.at(SimTime(2.0), rec("e@2b"));
+    e.at(SimTime(3.0), [&, rec](SimTime t) {
+      trace.emplace_back("e@3", t.seconds());
+      e.after(1.0, rec("e@3+1"));
+      e.every(4.0, rec("p3/4s"), SimTime(4.0));
+    });
+    const EventHandle doomed = e.at(SimTime(5.0), rec("cancelled"));
+    e.at(SimTime(4.0), [&e, doomed](SimTime) { e.cancel(doomed); });
+    e.run_until(SimTime(6.5));
+    return trace;
+  };
+
+  const std::vector<std::pair<std::string, double>> expected = {
+      {"p1/3s", 0.0},
+      {"p0/2s", 2.0}, {"p2/2s", 2.0}, {"e@2", 2.0}, {"e@2b", 2.0},
+      {"p1/3s", 3.0}, {"e@3", 3.0},
+      {"p0/2s", 4.0}, {"p2/2s", 4.0}, {"p3/4s", 4.0}, {"e@3+1", 4.0},
+      // e@5 was cancelled by the event at t=4; at t=6 all three original
+      // periodics are due and fire in registration-index order.
+      {"p0/2s", 6.0}, {"p1/3s", 6.0}, {"p2/2s", 6.0},
+  };
+  const auto a = run_trace();
+  EXPECT_EQ(a, expected);
+  EXPECT_EQ(run_trace(), a);  // run-to-run determinism
 }
 
 }  // namespace

@@ -73,7 +73,53 @@ TEST(EventQueue, CancelAfterFireIsFalse) {
 TEST(EventQueue, CancelInvalidHandleIsFalse) {
   EventQueue q;
   EXPECT_FALSE(q.cancel(EventHandle{}));
-  EXPECT_FALSE(q.cancel(EventHandle{9999}));
+  EXPECT_FALSE(q.cancel(EventHandle{9999, 1}));  // slot that never existed
+}
+
+TEST(EventQueue, CancelWhilePendingReleasesSlotForReuse) {
+  EventQueue q;
+  int fired = 0;
+  const EventHandle a = q.schedule(SimTime(1.0), [&](SimTime) { fired += 1; });
+  EXPECT_TRUE(q.cancel(a));
+  // The replacement likely reuses a's slot; a's stale handle must not be
+  // able to cancel it.
+  const EventHandle b = q.schedule(SimTime(2.0), [&](SimTime) { fired += 10; });
+  EXPECT_FALSE(q.cancel(a));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 10);
+  EXPECT_FALSE(q.cancel(b));  // already fired
+}
+
+TEST(EventQueue, StaleHandleAfterFireCannotCancelSlotReuser) {
+  EventQueue q;
+  int fired = 0;
+  const EventHandle a = q.schedule(SimTime(1.0), [&](SimTime) { fired += 1; });
+  EXPECT_TRUE(q.run_next());  // a fires; its slot goes back on the free list
+  const EventHandle b = q.schedule(SimTime(2.0), [&](SimTime) { fired += 10; });
+  EXPECT_FALSE(q.cancel(a));  // generation mismatch: b is untouched
+  EXPECT_EQ(q.pending(), 1u);
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 11);
+  EXPECT_FALSE(q.cancel(b));  // b already fired
+}
+
+TEST(EventQueue, ManyCancelScheduleCyclesKeepHandlesDistinct) {
+  EventQueue q;
+  // Hammer one slot through many generations; every stale handle must stay
+  // dead and the newest must stay live.
+  EventHandle current = q.schedule(SimTime(1.0), [](SimTime) {});
+  std::vector<EventHandle> stale;
+  for (int i = 0; i < 100; ++i) {
+    stale.push_back(current);
+    EXPECT_TRUE(q.cancel(current));
+    current = q.schedule(SimTime(1.0), [](SimTime) {});
+  }
+  for (const EventHandle& h : stale) EXPECT_FALSE(q.cancel(h));
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_TRUE(q.cancel(current));
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(EventQueue, PendingTracksLiveEvents) {

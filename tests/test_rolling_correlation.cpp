@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/identifier.hpp"
+#include "sim/correlation.hpp"
+#include "sim/rng.hpp"
+#include "sim/rolling_correlation.hpp"
+#include "sim/time_series.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+TEST(RollingCorrelation, ZeroWindowThrows) {
+  EXPECT_THROW(RollingCorrelation(0), std::invalid_argument);
+}
+
+TEST(RollingCorrelation, FewerThanTwoSamplesIsZero) {
+  RollingCorrelation rc(8);
+  EXPECT_DOUBLE_EQ(rc.correlation(), 0.0);
+  rc.push(1.0, 2.0);
+  EXPECT_DOUBLE_EQ(rc.correlation(), 0.0);
+  EXPECT_DOUBLE_EQ(rc.mean_y(), 2.0);
+}
+
+TEST(RollingCorrelation, ZeroVarianceIsZeroLikeBatch) {
+  RollingCorrelation rc(8);
+  for (int i = 0; i < 5; ++i) rc.push(3.0, static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(rc.correlation(), 0.0);  // x side is constant
+}
+
+TEST(RollingCorrelation, PerfectCorrelationClampsToOne) {
+  RollingCorrelation rc(10);
+  for (int i = 0; i < 10; ++i) rc.push(i, 2.0 * i + 5.0);
+  EXPECT_DOUBLE_EQ(rc.correlation(), 1.0);
+  // Ten more pushes fully evict the first set; the window is now exactly the
+  // anticorrelated run.
+  for (int i = 0; i < 10; ++i) rc.push(i, -3.0 * i);
+  EXPECT_DOUBLE_EQ(rc.correlation(), -1.0);
+}
+
+TEST(RollingCorrelation, MatchesBatchPearsonOverWindow) {
+  const std::size_t window = 12;
+  RollingCorrelation rc(window);
+  Rng rng(77);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    const double y = 0.7 * x + rng.uniform(-1.0, 1.0);
+    xs.push_back(x);
+    ys.push_back(y);
+    rc.push(x, y);
+    const std::size_t n = std::min<std::size_t>(xs.size(), window);
+    const std::span<const double> wx(xs.data() + xs.size() - n, n);
+    const std::span<const double> wy(ys.data() + ys.size() - n, n);
+    EXPECT_NEAR(rc.correlation(), pearson(wx, wy), 1e-9) << "at i=" << i;
+  }
+}
+
+TEST(RollingCorrelation, WindowEvictionForgetsOldSamples) {
+  RollingCorrelation rc(4);
+  // An anticorrelated prefix followed by a perfectly correlated run: once the
+  // prefix is evicted only the correlated samples remain.
+  rc.push(0.0, 10.0);
+  rc.push(1.0, 9.0);
+  rc.push(2.0, 8.0);
+  EXPECT_LT(rc.correlation(), -0.99);
+  for (int i = 0; i < 4; ++i) rc.push(i, static_cast<double>(i));
+  EXPECT_EQ(rc.size(), 4u);
+  EXPECT_DOUBLE_EQ(rc.correlation(), 1.0);
+  EXPECT_DOUBLE_EQ(rc.mean_y(), 1.5);
+}
+
+TEST(RollingCorrelation, ResetForgetsEverything) {
+  RollingCorrelation rc(8);
+  for (int i = 0; i < 8; ++i) rc.push(i, i);
+  rc.reset();
+  EXPECT_EQ(rc.size(), 0u);
+  EXPECT_DOUBLE_EQ(rc.correlation(), 0.0);
+  EXPECT_DOUBLE_EQ(rc.mean_y(), 0.0);
+}
+
+TEST(RollingCorrelation, HighMagnitudeNearConstantSignalStaysSane) {
+  // A steady antagonist hammering ~1e8 B/s with tiny jitter: naive
+  // n·Σyy − (Σy)² cancels catastrophically here. Anchored sums must keep the
+  // incremental result glued to the two-pass batch value.
+  const std::size_t window = 60;
+  RollingCorrelation rc(window);
+  Rng rng(31337);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 5000; ++i) {
+    const double x = 50.0 + rng.uniform(-0.5, 0.5);
+    const double y = 1.0e8 + rng.uniform(-10.0, 10.0);
+    xs.push_back(x);
+    ys.push_back(y);
+    rc.push(x, y);
+  }
+  const std::span<const double> wx(xs.data() + xs.size() - window, window);
+  const std::span<const double> wy(ys.data() + ys.size() - window, window);
+  EXPECT_NEAR(rc.correlation(), pearson(wx, wy), 1e-9);
+}
+
+TEST(RollingCorrelation, LongRunDriftBoundedByResum) {
+  // Many multiples of the resum interval with eviction active throughout.
+  const std::size_t window = 7;
+  RollingCorrelation rc(window);
+  Rng rng(9);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    const double y = rng.uniform(0.0, 100.0);
+    xs.push_back(x);
+    ys.push_back(y);
+    rc.push(x, y);
+  }
+  const std::span<const double> wx(xs.data() + xs.size() - window, window);
+  const std::span<const double> wy(ys.data() + ys.size() - window, window);
+  EXPECT_NEAR(rc.correlation(), pearson(wx, wy), 1e-9);
+  double mean = 0.0;
+  for (const double v : wy) mean += v;
+  mean /= static_cast<double>(window);
+  EXPECT_NEAR(rc.mean_y(), mean, 1e-9);
+}
+
+/// The satellite acceptance test: feed a rolling accumulator the same
+/// missing-as-zero aligned stream the batch path sees and require agreement
+/// to 1e-9 against `pearson_missing_as_zero` on randomized gappy series.
+TEST(RollingCorrelation, AgreesWithBatchMissingAsZeroOnRandomGappySeries) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 5; ++trial) {
+    const std::size_t window = 5 + static_cast<std::size_t>(trial) * 7;  // 5..33
+    TimeSeries victim("victim");
+    TimeSeries suspect("suspect");
+    RollingCorrelation rc(window);
+    for (int i = 0; i < 300; ++i) {
+      const SimTime t(i * 1.0);
+      const double x = rng.uniform(0.0, 40.0);
+      victim.add(t, x);
+      double y = 0.0;
+      if (rng.uniform() < 0.7) {  // gappy: suspect present ~70% of ticks
+        y = 0.5 * x + rng.uniform(0.0, 20.0);
+        suspect.add(t, y);
+      }
+      rc.push(x, suspect.value_at(t).value_or(0.0));
+      if (victim.size() >= 2) {
+        const double batch = pearson_missing_as_zero(victim, suspect, window);
+        EXPECT_NEAR(rc.correlation(), batch, 1e-9)
+            << "trial=" << trial << " i=" << i << " window=" << window;
+        EXPECT_NEAR(rc.mean_y(), windowed_mean_missing_as_zero(victim, suspect, window), 1e-9);
+      }
+    }
+  }
+}
+
+/// End-to-end equivalence of the identifier's two paths: incremental scoring
+/// from per-pair RollingCorrelation state must reproduce the batch scores
+/// (and antagonist verdicts) on growing gappy series — including when the
+/// suspect series is a bounded ring covering the correlation window.
+TEST(AntagonistIdentifierIncremental, MatchesBatchScores) {
+  core::PerfCloudConfig cfg;
+  cfg.correlation_window = 12;
+  cfg.min_correlation_samples = 3;
+
+  TimeSeries victim("victim");
+  TimeSeries hot("hot-suspect", cfg.correlation_window);  // bounded ring
+  TimeSeries cold("cold-suspect");
+  const std::vector<core::SuspectSignal> suspects = {{7, &hot}, {8, &cold}};
+
+  const core::AntagonistIdentifier batch(cfg);
+  core::AntagonistIdentifier incremental(cfg);
+
+  Rng rng(55);
+  for (int i = 0; i < 120; ++i) {
+    const SimTime t(i * 2.0);
+    const double x = rng.uniform(0.0, 30.0);
+    victim.add(t, x);
+    if (rng.uniform() < 0.8) hot.add(t, 3.0 * x + rng.uniform(0.0, 5.0));
+    if (rng.uniform() < 0.6) cold.add(t, rng.uniform(0.0, 30.0));
+
+    const auto want = batch.score(victim, suspects);
+    const auto got = incremental.score_incremental(victim, suspects);
+    ASSERT_EQ(got.size(), want.size()) << "i=" << i;
+    for (std::size_t s = 0; s < want.size(); ++s) {
+      EXPECT_EQ(got[s].vm_id, want[s].vm_id);
+      EXPECT_NEAR(got[s].correlation, want[s].correlation, 1e-9) << "i=" << i << " s=" << s;
+      EXPECT_EQ(got[s].antagonist, want[s].antagonist) << "i=" << i << " s=" << s;
+    }
+  }
+}
+
+TEST(AntagonistIdentifierIncremental, VictimResetRebuildsState) {
+  core::PerfCloudConfig cfg;
+  cfg.correlation_window = 8;
+  TimeSeries victim("victim");
+  TimeSeries suspect("suspect");
+  const std::vector<core::SuspectSignal> suspects = {{1, &suspect}};
+  core::AntagonistIdentifier incremental(cfg);
+  const core::AntagonistIdentifier batch(cfg);
+
+  for (int i = 0; i < 20; ++i) {
+    const SimTime t(i * 1.0);
+    victim.add(t, static_cast<double>(i % 5));
+    suspect.add(t, static_cast<double>((i * 3) % 7));
+    (void)incremental.score_incremental(victim, suspects);
+  }
+  victim.clear();  // victim shrank: pair state must reset, not corrupt
+  for (int i = 0; i < 10; ++i) {
+    const SimTime t(100.0 + i);
+    victim.add(t, static_cast<double>(i));
+    suspect.add(t, 2.0 * i);
+    const auto want = batch.score(victim, suspects);
+    const auto got = incremental.score_incremental(victim, suspects);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < want.size(); ++s) {
+      EXPECT_NEAR(got[s].correlation, want[s].correlation, 1e-9) << "i=" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace perfcloud::sim

@@ -144,6 +144,56 @@ TEST(AlignTo, ToleranceMatchesNearbySamples) {
   EXPECT_DOUBLE_EQ(a[0], 3.0);
 }
 
+TEST(TimeSeries, BoundedCapacityEvictsOldest) {
+  TimeSeries s("bounded", 3);
+  EXPECT_EQ(s.capacity(), 3u);
+  for (int i = 0; i < 5; ++i) s.add(SimTime(i * 1.0), static_cast<double>(i * 10));
+  ASSERT_EQ(s.size(), 3u);
+  // Holds exactly the most recent 3 samples, oldest first.
+  EXPECT_DOUBLE_EQ(s.time(0).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(s.value(0), 20.0);
+  EXPECT_DOUBLE_EQ(s.time(2).seconds(), 4.0);
+  EXPECT_DOUBLE_EQ(s.value(2), 40.0);
+}
+
+TEST(TimeSeries, BoundedCapacitySpansStayCoherent) {
+  TimeSeries s("bounded", 4);
+  for (int i = 0; i < 9; ++i) s.add(SimTime(i * 1.0), static_cast<double>(i));
+  const auto vals = s.values();
+  const auto times = s.times();
+  ASSERT_EQ(vals.size(), 4u);
+  ASSERT_EQ(times.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(vals[i], static_cast<double>(i + 5));
+    EXPECT_DOUBLE_EQ(times[i].seconds(), static_cast<double>(i + 5));
+  }
+}
+
+TEST(TimeSeries, SetCapacityTrimsExistingSamples) {
+  TimeSeries s;
+  for (int i = 0; i < 10; ++i) s.add(SimTime(i * 1.0), static_cast<double>(i));
+  s.set_capacity(4);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.value(0), 6.0);
+  s.set_capacity(0);  // unbounded again: growth resumes
+  s.add(SimTime(10.0), 10.0);
+  s.add(SimTime(11.0), 11.0);
+  EXPECT_EQ(s.size(), 6u);
+}
+
+TEST(TimeSeries, ValueAtExactTime) {
+  TimeSeries s;
+  s.add(SimTime(5.0), 1.0);
+  s.add(SimTime(10.0), 2.0);
+  s.add(SimTime(15.0), 3.0);
+  EXPECT_EQ(s.value_at(SimTime(10.0)).value_or(-1.0), 2.0);
+  EXPECT_EQ(s.value_at(SimTime(15.0)).value_or(-1.0), 3.0);  // newest: O(1) path
+  EXPECT_FALSE(s.value_at(SimTime(12.0)).has_value());
+  EXPECT_FALSE(s.value_at(SimTime(20.0)).has_value());
+  EXPECT_EQ(s.value_at(SimTime(5.0 + 1e-9)).value_or(-1.0), 1.0);  // within tol
+  EXPECT_FALSE(TimeSeries{}.value_at(SimTime(0.0)).has_value());
+}
+
 TEST(AlignTo, SkipsSamplesBetweenGridPoints) {
   TimeSeries ref;
   ref.add(SimTime(0.0), 0.0);
