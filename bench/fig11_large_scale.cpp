@@ -42,10 +42,15 @@ std::vector<wl::MixEntry> make_mix(bool spark) {
 /// are long-lived relative to any single job, arriving and leaving on their
 /// own schedule.
 void add_antagonists(exp::Cluster& c, std::uint64_t seed) {
+  // Placement draws come from their own stream: host selection shares no
+  // state with the episode-schedule draws below, so changing the host count
+  // (or any sharding of the hosts) can never perturb when antagonists run,
+  // and vice versa.
   sim::Rng rng(seed);
+  sim::Rng placement_rng = rng.split(0x9fac);
   for (int i = 0; i < 40; ++i) {
-    const auto host_idx =
-        static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(c.hosts.size()) - 1));
+    const auto host_idx = static_cast<std::size_t>(
+        placement_rng.uniform_int(0, static_cast<std::int64_t>(c.hosts.size()) - 1));
     const std::string& host = c.hosts[host_idx];
     const double start = rng.uniform(0.0, 5600.0);
     const double duration = rng.uniform(240.0, 600.0);

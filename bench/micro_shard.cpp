@@ -1,0 +1,177 @@
+// Sharded-execution microbenchmark: wall-clock scaling of ONE fig11-sized
+// run (150 workers / 15 hosts, antagonist churn, PerfCloud control, a
+// MapReduce job mix) as the engine's host-shard count grows 1 -> 2 -> 4 -> 8.
+//
+// This is the complement of PERFCLOUD_THREADS: the parallel runner speeds up
+// *many independent* runs, the shard pool speeds up a *single large* run by
+// executing the per-quantum host-local pipelines (hypervisor ticks, monitor
+// sampling, node-manager detect/identify/control) concurrently and fencing
+// cross-host logic behind a barrier.
+//
+// Every run must produce an identical result fingerprint — sharding that
+// changed an output would be a correctness bug, so the bench hard-fails on
+// any mismatch. Results go to stdout and BENCH_shard.json.
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "exp/report.hpp"
+#include "workloads/mix.hpp"
+
+using namespace perfcloud;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 101;
+constexpr int kJobs = 40;
+
+double now_seconds() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Antagonist churn in the fig11 style: fio and STREAM VMs coming and going
+/// on hosts drawn from a dedicated placement stream.
+void add_antagonists(exp::Cluster& c, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  sim::Rng placement_rng = rng.split(0x9fac);
+  for (int i = 0; i < 40; ++i) {
+    const auto host_idx = static_cast<std::size_t>(
+        placement_rng.uniform_int(0, static_cast<std::int64_t>(c.hosts.size()) - 1));
+    const std::string& host = c.hosts[host_idx];
+    const double start = rng.uniform(0.0, 900.0);
+    const double duration = rng.uniform(240.0, 600.0);
+    if (i % 2 == 0) {
+      exp::add_fio(c, host,
+                   wl::FioRandomRead::Params{.duration_s = duration, .start_s = start});
+    } else {
+      exp::add_stream(c, host,
+                      wl::StreamBenchmark::Params{.threads = 16, .duration_s = duration,
+                                                  .start_s = start});
+    }
+  }
+}
+
+struct RunResult {
+  double wall_s = 0.0;
+  // Result fingerprint — must be identical for every shard count.
+  double jct_sum = 0.0;
+  int completed = 0;
+  double efficiency = 0.0;
+  double final_time_s = 0.0;
+};
+
+RunResult run_once(unsigned shards) {
+  exp::ClusterParams p;
+  p.hosts = 15;
+  p.workers = 150;
+  p.seed = kSeed;
+  p.tick_dt = 0.1;
+  p.shards = shards;
+
+  const double t0 = now_seconds();
+  exp::Cluster c = exp::make_cluster(p);
+  add_antagonists(c, kSeed + 33);
+
+  core::PerfCloudConfig cfg;
+  cfg.monitor_series_capacity = cfg.correlation_window;
+  exp::enable_perfcloud(c, cfg);
+
+  sim::Rng mix_rng(kSeed);
+  wl::MixParams mp;
+  mp.num_jobs = kJobs;
+  mp.mean_interarrival_s = 30.0;
+  const std::vector<wl::MixEntry> mix = wl::make_mapreduce_mix(mp, mix_rng);
+  std::vector<wl::JobId> ids;
+  ids.reserve(mix.size());
+  for (const wl::MixEntry& e : mix) {
+    c.engine->at(sim::SimTime(e.submit_time_s),
+                 [&c, &ids, &e](sim::SimTime) { ids.push_back(c.framework->submit(e.spec)); });
+  }
+  c.engine->run_while(
+      [&] { return ids.size() < mix.size() || !c.framework->all_done(); },
+      sim::SimTime(20000.0));
+
+  RunResult r;
+  r.wall_s = now_seconds() - t0;
+  r.efficiency = c.framework->utilization_efficiency();
+  r.final_time_s = c.engine->now().seconds();
+  for (const wl::JobId id : ids) {
+    const wl::Job* job = c.framework->find_job(id);
+    if (job != nullptr && job->completed()) {
+      r.jct_sum += job->jct();
+      ++r.completed;
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<unsigned> shard_counts = {1, 2, 4, 8};
+  std::cout << "micro_shard: one fig11-sized run (150 workers / 15 hosts, " << kJobs
+            << " jobs,\nantagonist churn, PerfCloud on) at increasing host-shard counts\n"
+            << "hardware threads available: " << std::thread::hardware_concurrency() << "\n\n";
+
+  std::vector<RunResult> results;
+  for (const unsigned s : shard_counts) {
+    std::cout << "  shards=" << s << " ..." << std::flush;
+    results.push_back(run_once(s));
+    std::cout << " " << results.back().wall_s << " s wall\n";
+  }
+  std::cout << "\n";
+
+  // Determinism gate: every shard count must reproduce the shards=1 results
+  // exactly. A tolerance would hide real bugs — sharding moves work across
+  // threads but every FP operation sequence per host is unchanged.
+  const RunResult& base = results.front();
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    if (r.jct_sum != base.jct_sum || r.completed != base.completed ||
+        r.efficiency != base.efficiency || r.final_time_s != base.final_time_s) {
+      std::cerr << "FAIL: shards=" << shard_counts[i]
+                << " produced a different result fingerprint than shards=1\n";
+      return 1;
+    }
+  }
+
+  exp::Table t({"shards", "wall s", "speedup vs 1"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    t.add_row(std::to_string(shard_counts[i]),
+              {results[i].wall_s, base.wall_s / results[i].wall_s}, 2);
+  }
+  t.print(std::cout);
+  if (std::thread::hardware_concurrency() < shard_counts.back()) {
+    std::cout << "\nnote: only " << std::thread::hardware_concurrency()
+              << " hardware thread(s) available — shard counts beyond that measure\n"
+                 "pure sharding overhead, not scaling; run on >= "
+              << shard_counts.back() << " cores to see the speedup curve.\n";
+  }
+  std::cout << "\nfingerprint: " << base.completed << "/" << kJobs
+            << " jobs completed, JCT sum " << base.jct_sum << " s, efficiency "
+            << base.efficiency << ", final sim time " << base.final_time_s
+            << " s (identical across all shard counts)\n";
+
+  std::ofstream json("BENCH_shard.json");
+  json << "{\n"
+       << "  \"topology\": {\"hosts\": 15, \"workers\": 150, \"jobs\": " << kJobs << "},\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"runs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json << "    {\"shards\": " << shard_counts[i] << ", \"wall_s\": " << results[i].wall_s
+         << ", \"speedup\": " << base.wall_s / results[i].wall_s << "}"
+         << (i + 1 < results.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n"
+       << "  \"fingerprint_identical\": true,\n"
+       << "  \"jct_sum_s\": " << base.jct_sum << ",\n"
+       << "  \"utilization_efficiency\": " << base.efficiency << "\n"
+       << "}\n";
+  std::cout << "\nwrote BENCH_shard.json\n";
+  return 0;
+}

@@ -1,10 +1,33 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer + UBSan.
+# Full check: the test suite under ASan+UBSan, the same suite under TSan
+# with the host shard sweeps actually parallel (PERFCLOUD_SHARDS=4), and a
+# shard-count determinism gate diffing a real figure bench's output.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "== ASan + UBSan =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 UBSAN_OPTIONS=halt_on_error=1 ctest --preset asan -j "$(nproc)" "$@"
+
+echo "== TSan, sharded (PERFCLOUD_SHARDS=4) =="
+# Every sharded periodic in every test runs its host-local tasks across 4
+# threads, so the pool's handoffs and the thread-confinement of the
+# hypervisor/monitor/node-manager pipelines are exercised under TSan.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+PERFCLOUD_SHARDS=4 ctest --preset tsan -j "$(nproc)" "$@"
+
+echo "== shard determinism gate =="
+# A multi-host figure bench must emit byte-identical stdout for any shard
+# count; wall-clock time is the only thing sharding is allowed to change.
+cmake --preset release
+cmake --build --preset release -j "$(nproc)" --target ext_heterogeneous
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+PERFCLOUD_SHARDS=1 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards1.txt" 2> /dev/null
+PERFCLOUD_SHARDS=4 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards4.txt" 2> /dev/null
+diff "$tmpdir/shards1.txt" "$tmpdir/shards4.txt"
+echo "ext_heterogeneous: byte-identical output for 1 vs 4 shards"

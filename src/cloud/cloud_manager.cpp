@@ -142,10 +142,31 @@ void CloudManager::start_ticking(double dt) {
   if (tick_dt_ > 0.0) throw std::logic_error("start_ticking called twice");
   if (dt <= 0.0) throw std::invalid_argument("tick dt must be positive");
   tick_dt_ = dt;
+  // One engine periodic sweeps every host: a tick is host-local (the
+  // hypervisor, its server models, its guests), so the tasks fan out across
+  // the shard pool; there is no cross-host phase.
+  sim::ShardedPeriodic& sweep = engine_.every_sharded(dt, sim::SimTime(dt));
   for (Host& h : hosts_) {
     virt::Hypervisor* hv = h.hypervisor.get();
-    engine_.every(dt, [hv, dt](sim::SimTime now) { hv->tick(now, dt); }, sim::SimTime(dt));
+    sweep.add_task([hv, dt](sim::SimTime now) { hv->tick(now, dt); });
   }
+}
+
+void CloudManager::register_host_pipeline(double period, sim::Engine::PeriodicFn parallel_fn,
+                                          sim::Engine::PeriodicFn barrier_fn) {
+  if (period <= 0.0) throw std::invalid_argument("pipeline period must be positive");
+  if (pipeline_sweep_ == nullptr) {
+    pipeline_period_ = period;
+    pipeline_sweep_ = &engine_.every_sharded(period, sim::SimTime(period));
+    pipeline_sweep_->set_barrier([this](sim::SimTime now) {
+      for (const sim::Engine::PeriodicFn& fn : pipeline_barriers_) fn(now);
+    });
+  } else if (period != pipeline_period_) {
+    throw std::invalid_argument("host pipelines must share one period; sweep runs at " +
+                                std::to_string(pipeline_period_) + " s");
+  }
+  pipeline_sweep_->add_task(std::move(parallel_fn));
+  if (barrier_fn) pipeline_barriers_.push_back(std::move(barrier_fn));
 }
 
 }  // namespace perfcloud::cloud

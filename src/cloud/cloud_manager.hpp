@@ -63,9 +63,22 @@ class CloudManager {
   /// Hosts that currently run at least one VM of the given application.
   [[nodiscard]] std::vector<std::string> hosts_of_app(const std::string& app_id) const;
 
-  /// Register every host's arbitration tick with the engine. Call once,
-  /// after all hosts exist and before running. `dt` is the tick length.
+  /// Register the arbitration ticks of all hosts with the engine as ONE
+  /// sharded periodic (a host-shard sweep, not one periodic per hypervisor):
+  /// every `dt` the engine runs each host's tick across its shard pool and
+  /// barriers before anything else fires. Call once, after all hosts exist
+  /// and before running.
   void start_ticking(double dt);
+
+  /// Host-shard registry for per-host control pipelines (the node managers).
+  /// All registrations share ONE batched engine periodic of this `period`
+  /// (every call must pass the same value), created at the first call:
+  /// each firing runs every `parallel_fn` across the engine's shard pool —
+  /// `parallel_fn` must be thread-confined to its host — then, after the
+  /// barrier, every non-null `barrier_fn` sequentially in registration
+  /// order. Cross-host work (migration, escalation) belongs in barrier_fn.
+  void register_host_pipeline(double period, sim::Engine::PeriodicFn parallel_fn,
+                              sim::Engine::PeriodicFn barrier_fn = nullptr);
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] double tick_dt() const { return tick_dt_; }
@@ -83,6 +96,9 @@ class CloudManager {
   std::vector<VmRecord> registry_;
   int next_vm_id_ = 1;
   double tick_dt_ = 0.0;
+  sim::ShardedPeriodic* pipeline_sweep_ = nullptr;
+  double pipeline_period_ = 0.0;
+  std::vector<sim::Engine::PeriodicFn> pipeline_barriers_;
 };
 
 }  // namespace perfcloud::cloud

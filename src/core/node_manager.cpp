@@ -22,9 +22,9 @@ NodeManager::NodeManager(cloud::CloudManager& cloud, std::string host_name, Perf
 void NodeManager::start() {
   if (started_) return;
   started_ = true;
-  cloud_.engine().every(cfg_.sample_interval_s,
-                        [this](sim::SimTime now) { control_step(now); },
-                        sim::SimTime(cfg_.sample_interval_s));
+  cloud_.register_host_pipeline(
+      cfg_.sample_interval_s, [this](sim::SimTime now) { local_step(now); },
+      [this](sim::SimTime now) { run_pending_escalation(now); });
 }
 
 sim::TimeSeries& NodeManager::signal(std::map<std::string, sim::TimeSeries>& store,
@@ -33,6 +33,18 @@ sim::TimeSeries& NodeManager::signal(std::map<std::string, sim::TimeSeries>& sto
 }
 
 void NodeManager::control_step(sim::SimTime now) {
+  local_step(now);
+  run_pending_escalation(now);
+}
+
+void NodeManager::run_pending_escalation(sim::SimTime now) {
+  (void)now;
+  if (!escalation_pending_) return;
+  escalation_pending_ = false;
+  cloud_.resolve_high_priority_collision(host_);
+}
+
+void NodeManager::local_step(sim::SimTime now) {
   monitor_.sample(now);
 
   // Fetch the current VM registry for this host (Nova API in the paper):
@@ -50,11 +62,11 @@ void NodeManager::control_step(sim::SimTime now) {
   }
 
   // §IV-D escalation: two high-priority applications on one host cannot
-  // both be protected by throttling third parties — ask the cloud manager
-  // to separate them. After the migration the next interval sees one group.
-  if (cfg_.escalate_app_collisions && apps.size() > 1) {
-    cloud_.resolve_high_priority_collision(host_);
-  }
+  // both be protected by throttling third parties — the cloud manager must
+  // separate them by migration. Migration mutates cross-host state, so it
+  // is only flagged here and runs after the shard-sweep barrier; the next
+  // interval sees one group.
+  escalation_pending_ = cfg_.escalate_app_collisions && apps.size() > 1;
 
   bool any_io_contended = false;
   bool any_cpu_contended = false;

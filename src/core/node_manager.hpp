@@ -30,13 +30,28 @@ class NodeManager {
   NodeManager(const NodeManager&) = delete;
   NodeManager& operator=(const NodeManager&) = delete;
 
-  /// Register the periodic control loop with the engine. Call after the
-  /// cloud has started ticking (the monitor must sample post-arbitration
-  /// counters).
+  /// Register this host's control pipeline with the cloud manager's shard
+  /// sweep (one batched engine periodic for all node managers, not one
+  /// each). Call after the cloud has started ticking (the monitor must
+  /// sample post-arbitration counters).
   void start();
 
-  /// One Algorithm-1 iteration; exposed for tests and benches.
+  /// One Algorithm-1 iteration; exposed for tests and benches. Equivalent
+  /// to local_step + escalation, run back to back.
   void control_step(sim::SimTime now);
+
+  /// The host-local half of an iteration: sample, detect, identify, run the
+  /// cap controllers and actuate on this host's hypervisor. Thread-confined
+  /// — touches only this node manager's state, this host's hypervisor, and
+  /// read-only cloud-registry queries — so the shard sweep runs all hosts'
+  /// local steps in parallel. A detected high-priority application collision
+  /// is only *recorded* here (escalation migrates VMs across hosts).
+  void local_step(sim::SimTime now);
+
+  /// The cross-host half: if local_step flagged an application collision,
+  /// ask the cloud manager to separate the apps (§IV-D). Runs after the
+  /// sweep barrier, sequentially in host order.
+  void run_pending_escalation(sim::SimTime now);
 
   /// Monitoring-only mode: sample and compute signals but never actuate.
   /// Used by the "default system" baseline and by the detection figures.
@@ -71,6 +86,7 @@ class NodeManager {
   AntagonistIdentifier identifier_;
   bool control_enabled_ = true;
   bool started_ = false;
+  bool escalation_pending_ = false;
 
   std::map<std::string, sim::TimeSeries> io_signals_;
   std::map<std::string, sim::TimeSeries> cpi_signals_;

@@ -25,6 +25,11 @@ struct ClusterParams {
   int workers = 10;
   int vm_vcpus = 2;
   std::uint64_t seed = 42;
+  /// Shard-pool threads for the engine's per-quantum host sweeps (hypervisor
+  /// ticks, node-manager pipelines). 0 = keep the engine's default, which
+  /// reads PERFCLOUD_SHARDS (1 when unset). Results are byte-identical for
+  /// any value; >1 only buys wall-clock time on multi-host clusters.
+  unsigned shards = 0;
   double tick_dt = 0.1;          ///< Arbitration tick.
   double sched_period = 1.0;     ///< Framework scheduling period.
   std::string app_id = "hadoop";

@@ -1,12 +1,29 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 namespace perfcloud::sim {
 
-Engine::Engine(std::uint64_t seed) : rng_(seed) {}
+Engine::Engine(std::uint64_t seed) : shards_(shards_from_env()), rng_(seed) {}
+
+unsigned Engine::shards_from_env() {
+  if (const char* env = std::getenv("PERFCLOUD_SHARDS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+void Engine::set_shards(unsigned shards) {
+  if (shards < 1) throw std::invalid_argument("Engine::set_shards: shards must be >= 1");
+  if (pool_ != nullptr) {
+    throw std::logic_error("Engine::set_shards: shard pool already running");
+  }
+  shards_ = shards;
+}
 
 EventHandle Engine::at(SimTime t, EventQueue::Callback cb) {
   if (t < now_) {
@@ -30,6 +47,27 @@ void Engine::every(double period, PeriodicFn fn, SimTime start) {
   const SimTime first = start >= now_ ? start : now_;
   periodics_.push_back(Periodic{period, std::move(fn), first});
   due_.push(DueEntry{first, periodics_.size() - 1});
+}
+
+ShardedPeriodic& Engine::every_sharded(double period, SimTime start) {
+  sharded_.push_back(std::make_unique<ShardedPeriodic>());
+  ShardedPeriodic* sp = sharded_.back().get();
+  every(period,
+        [this, sp](SimTime now) {
+          run_shard_tasks(sp->tasks_, now);
+          if (sp->barrier_) sp->barrier_(now);
+        },
+        start);
+  return *sp;
+}
+
+void Engine::run_shard_tasks(const std::vector<ShardedPeriodic::Fn>& tasks, SimTime now) {
+  if (shards_ <= 1 || tasks.size() <= 1) {
+    for (const ShardedPeriodic::Fn& task : tasks) task(now);
+    return;
+  }
+  if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(shards_);
+  pool_->run(tasks.size(), [&](std::size_t i) { tasks[i](now); });
 }
 
 void Engine::fire_due_periodics(SimTime t) {

@@ -2,14 +2,45 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <queue>
 #include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
+#include "sim/shard_pool.hpp"
 #include "sim/types.hpp"
 
 namespace perfcloud::sim {
+
+/// A periodic activity whose work is a batch of independent host-local tasks
+/// plus an optional sequential cross-host phase — the engine's sharded
+/// execution unit (one per host group, not one periodic per host).
+///
+/// Each firing runs every task for the quantum, partitioned across the
+/// engine's shard pool, waits at the barrier, then runs the barrier function
+/// on the engine thread. Tasks fire in index order when the engine has one
+/// shard; with more shards they run concurrently, so each task must be
+/// thread-confined: it may touch only its own host's state and read-only
+/// shared data — never the engine (at/after/every/rng/stop), the registry it
+/// shares with sibling tasks, or another host. Cross-host mutation belongs
+/// in the barrier function, which runs alone.
+///
+/// Tasks may be appended between firings (hosts registering during setup);
+/// appending from inside a task or barrier is not allowed.
+class ShardedPeriodic {
+ public:
+  using Fn = std::function<void(SimTime)>;
+
+  void add_task(Fn fn) { tasks_.push_back(std::move(fn)); }
+  void set_barrier(Fn fn) { barrier_ = std::move(fn); }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+ private:
+  friend class Engine;
+  std::vector<Fn> tasks_;
+  Fn barrier_;
+};
 
 /// Owns the simulated clock and the event queue, and drives periodic
 /// activities (resource-arbitration ticks, monitor sampling, framework
@@ -46,6 +77,19 @@ class Engine {
   /// long as the experiment.
   /// Throws std::invalid_argument if `period` is not positive.
   void every(double period, PeriodicFn fn, SimTime start = SimTime(0.0));
+
+  /// Register a sharded periodic: one heap entry for a whole host group.
+  /// Each firing runs the group's tasks across `shards()` threads, barriers,
+  /// then runs its sequential phase. The returned reference stays valid for
+  /// the engine's lifetime; add per-host tasks to it during setup.
+  ShardedPeriodic& every_sharded(double period, SimTime start = SimTime(0.0));
+
+  /// Worker threads for sharded periodics. Defaults to PERFCLOUD_SHARDS
+  /// (>= 1) or 1 when unset; results are byte-identical for any value.
+  [[nodiscard]] unsigned shards() const { return shards_; }
+  /// Override the shard count. Throws std::invalid_argument on 0 and
+  /// std::logic_error once the pool exists (a sharded periodic has fired).
+  void set_shards(unsigned shards);
 
   /// Run until the queue drains or `t_end` is reached, whichever is first.
   /// Returns the final simulated time.
@@ -85,10 +129,19 @@ class Engine {
     return due_.empty() ? SimTime::infinity() : due_.top().next;
   }
 
+  /// Run a sharded group's tasks for the quantum ending at `now`: inline in
+  /// index order with one shard, across the pool (created lazily) otherwise.
+  void run_shard_tasks(const std::vector<ShardedPeriodic::Fn>& tasks, SimTime now);
+  static unsigned shards_from_env();
+
   SimTime now_{0.0};
   EventQueue queue_;
   std::vector<Periodic> periodics_;
   std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<>> due_;
+  /// unique_ptr for address stability: firing closures hold raw pointers.
+  std::vector<std::unique_ptr<ShardedPeriodic>> sharded_;
+  unsigned shards_;
+  std::unique_ptr<ShardPool> pool_;
   Rng rng_;
   bool stopped_ = false;
 };

@@ -1,0 +1,86 @@
+#include "sim/shard_pool.hpp"
+
+#include <stdexcept>
+
+namespace perfcloud::sim {
+
+ShardPool::ShardPool(unsigned shards) {
+  if (shards < 1) throw std::invalid_argument("ShardPool: shards must be >= 1");
+  workers_.reserve(shards - 1);
+  for (unsigned i = 1; i < shards; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ShardPool::run(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  std::uint64_t gen;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body_ = &body;
+    next_ = 0;
+    n_ = n;
+    remaining_ = n;
+    gen = ++generation_;
+  }
+  cv_start_.notify_all();
+  drain(gen);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    body_ = nullptr;
+    error = error_;
+    error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ShardPool::drain(std::uint64_t gen) {
+  for (;;) {
+    const std::function<void(std::size_t)>* body;
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (generation_ != gen || next_ >= n_) return;
+      i = next_++;
+      body = body_;
+    }
+    std::exception_ptr error;
+    try {
+      (*body)(i);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (error && !error_) error_ = error;
+      if (generation_ == gen && --remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ShardPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t gen;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = gen = generation_;
+    }
+    drain(gen);
+  }
+}
+
+}  // namespace perfcloud::sim

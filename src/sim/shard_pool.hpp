@@ -1,0 +1,70 @@
+// Worker pool for the engine's sharded periodics (quantum-barrier model).
+//
+// One pool per Engine, created lazily when the first sharded periodic fires
+// with more than one shard configured. `run` executes a batch of independent
+// host-local tasks across the pool and returns only when every task has
+// completed — the time-quantum barrier. Tasks must be thread-confined: each
+// may touch only its own host's state (hypervisor, monitor, node-manager
+// members, per-host RNG streams) plus read-only shared data, never the
+// engine, the event queue, or another host.
+//
+// Determinism: which worker runs which task is scheduling-dependent, but
+// because tasks are confined to disjoint state and all cross-host logic runs
+// sequentially after the barrier, simulation results are byte-identical for
+// any shard count (pinned by ShardDeterminism tests).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace perfcloud::sim {
+
+class ShardPool {
+ public:
+  /// Spawns `shards - 1` workers; the caller of `run` is the remaining shard.
+  /// `shards` must be >= 1 (a 1-shard pool has no workers and runs inline).
+  explicit ShardPool(unsigned shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] unsigned shards() const {
+    return static_cast<unsigned>(workers_.size()) + 1;
+  }
+
+  /// Run body(0..n-1) across the pool and wait for all of them (the
+  /// barrier). Workers claim indices dynamically, so uneven per-host costs
+  /// load-balance. If any task throws, the first exception captured is
+  /// rethrown here after the barrier.
+  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+  /// Claim and execute tasks of generation `gen` until none remain.
+  void drain(std::uint64_t gen);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  // All fields below are guarded by mu_. A generation identifies one `run`
+  // batch; workers never cross generations (drain re-checks under the lock
+  // before claiming each index), so a straggler waking late simply finds the
+  // batch exhausted.
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(std::size_t)>* body_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t n_ = 0;
+  std::size_t remaining_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace perfcloud::sim

@@ -176,6 +176,77 @@ TEST(Engine, PeriodicRegisteredFromCallbackJoinsSameBatchInOrder) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 1, 2}));
 }
 
+TEST(Engine, ShardedPeriodicRunsTasksThenBarrier) {
+  Engine e;
+  e.set_shards(1);
+  std::vector<int> order;
+  ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+  sp.add_task([&](SimTime) { order.push_back(0); });
+  sp.add_task([&](SimTime) { order.push_back(1); });
+  sp.set_barrier([&](SimTime) { order.push_back(9); });
+  EXPECT_EQ(sp.task_count(), 2u);
+  e.run_until(SimTime(2.5));
+  // With one shard the tasks run inline in index order, then the barrier.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 9, 0, 1, 9}));
+}
+
+TEST(Engine, ShardedPeriodicKeepsRegistrationOrderWithPlainPeriodics) {
+  Engine e;
+  e.set_shards(1);
+  std::vector<int> order;
+  e.every(1.0, [&](SimTime) { order.push_back(1); }, SimTime(1.0));
+  ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+  sp.add_task([&](SimTime) { order.push_back(2); });
+  e.every(1.0, [&](SimTime) { order.push_back(3); }, SimTime(1.0));
+  e.run_until(SimTime(1.5));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, ShardedPeriodicParallelMatchesSequential) {
+  const auto run = [](unsigned shards) {
+    Engine e;
+    e.set_shards(shards);
+    // One result slot per task: tasks write disjoint elements, so the
+    // parallel sweep is race-free and comparable bit-for-bit.
+    std::vector<double> slots(16, 0.0);
+    ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      sp.add_task([&slots, i](SimTime t) {
+        slots[i] += t.seconds() * static_cast<double>(i + 1);
+      });
+    }
+    e.run_until(SimTime(5.5));
+    return slots;
+  };
+  EXPECT_EQ(run(1), run(4));
+}
+
+TEST(Engine, SetShardsZeroThrows) {
+  Engine e;
+  EXPECT_THROW(e.set_shards(0), std::invalid_argument);
+}
+
+TEST(Engine, SetShardsAfterPoolExistsThrows) {
+  Engine e;
+  e.set_shards(2);
+  ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+  sp.add_task([](SimTime) {});
+  sp.add_task([](SimTime) {});
+  e.run_until(SimTime(1.5));  // first multi-task fire creates the pool
+  EXPECT_THROW(e.set_shards(4), std::logic_error);
+}
+
+TEST(Engine, ShardTaskExceptionPropagates) {
+  for (const unsigned shards : {1u, 4u}) {
+    Engine e;
+    e.set_shards(shards);
+    ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+    sp.add_task([](SimTime) { throw std::runtime_error("shard task failed"); });
+    sp.add_task([](SimTime) {});
+    EXPECT_THROW(e.run_until(SimTime(2.0)), std::runtime_error);
+  }
+}
+
 /// The documented dispatch order — (time, registration-index) for periodics,
 /// periodics before same-timestamp one-shot events, FIFO among simultaneous
 /// events — pinned against a hand-computed golden trace. Any scheduler

@@ -112,6 +112,75 @@ TEST(Monitor, UnknownVmQueriesAreSafe) {
   EXPECT_DOUBLE_EQ(rig.mon->observed_io_bps(42), 0.0);
 }
 
+TEST(Monitor, FirstIntervalReportsThroughputButNotRatios) {
+  MonitorRig rig;
+  virt::Vm& vm = rig.hv.boot(virt::VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<wl::FioRandomRead>(wl::FioRandomRead::Params{}));
+  rig.mon->sample(sim::SimTime(0.0));  // primes the delta baseline
+  rig.run_interval(0.0);               // first real interval
+  const VmSample* s = rig.mon->latest(1);
+  ASSERT_NE(s, nullptr);
+  // Ratio metrics are EWMA-warmup gated: the first update is the raw sample
+  // and must not masquerade as a trend, so they report from the 2nd update.
+  EXPECT_FALSE(s->iowait_ratio_ms.has_value());
+  EXPECT_FALSE(s->cpi.has_value());
+  // Suspect-side usage metrics carry no such gate — they exist immediately.
+  EXPECT_GT(s->io_throughput_bps, 0.0);
+  EXPECT_GT(s->cpu_usage_cores, 0.0);
+  EXPECT_TRUE(s->llc_miss_rate.has_value());
+}
+
+TEST(Monitor, IowaitRatioGatedOnMinOps) {
+  // A VM doing only trickle I/O (10 ops per 5 s interval, below
+  // min_ops_per_interval = 20) carries no contention evidence: its iowait
+  // ratio would be pure noise and must never be reported.
+  MonitorRig rig;
+  virt::Vm& vm = rig.hv.boot(virt::VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<wl::FioRandomRead>(
+      wl::FioRandomRead::Params{.issue_iops = 2.0}));
+  rig.mon->sample(sim::SimTime(0.0));
+  for (int i = 0; i < 4; ++i) rig.run_interval(5.0 * i);
+  const VmSample* s = rig.mon->latest(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_GT(s->io_ops_per_s, 0.0);  // it *is* doing I/O...
+  EXPECT_FALSE(s->iowait_ratio_ms.has_value());  // ...but below the gate
+}
+
+TEST(Monitor, LlcSamplesSuppressedBelowCpuFloor) {
+  // §III-B: "LLC miss rates are not counted when the VM is not running any
+  // workload" — a VM that burned less than 5 % of one core the whole
+  // interval contributes no LLC sample, while its I/O series keeps growing.
+  MonitorRig rig;
+  virt::Vm& vm = rig.hv.boot(virt::VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<wl::FioRandomRead>(
+      wl::FioRandomRead::Params{.cpu_cores = 0.01}));
+  rig.mon->sample(sim::SimTime(0.0));
+  rig.run_interval(0.0);
+  rig.run_interval(5.0);
+  const VmSample* s = rig.mon->latest(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_FALSE(s->llc_miss_rate.has_value());
+  EXPECT_EQ(rig.mon->llc_miss_series(1).size(), 0u);
+  EXPECT_EQ(rig.mon->io_throughput_series(1).size(), 2u);
+  EXPECT_GT(s->io_throughput_bps, 0.0);
+}
+
+TEST(Monitor, BoundedSeriesEvictsOldestSamples) {
+  MonitorRig rig;
+  rig.cfg.monitor_series_capacity = 4;
+  rig.mon = std::make_unique<PerformanceMonitor>(rig.hv, rig.cfg);
+  virt::Vm& vm = rig.hv.boot(virt::VmConfig{.id = 1, .vcpus = 2});
+  vm.attach(std::make_unique<wl::FioRandomRead>(wl::FioRandomRead::Params{}));
+  rig.mon->sample(sim::SimTime(0.0));
+  // Six sampled intervals at t = 5, 10, ..., 30; capacity 4 must keep only
+  // the newest four (15..30), evicting in arrival order.
+  for (int i = 0; i < 6; ++i) rig.run_interval(5.0 * i);
+  const sim::TimeSeries& io = rig.mon->io_throughput_series(1);
+  ASSERT_EQ(io.size(), 4u);
+  EXPECT_DOUBLE_EQ(io.time(0).seconds(), 15.0);
+  EXPECT_DOUBLE_EQ(io.time(3).seconds(), 30.0);
+}
+
 TEST(Monitor, EwmaSmoothsStepChange) {
   PerfCloudConfig cfg;
   cfg.ewma_alpha = 0.5;
