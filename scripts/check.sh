@@ -31,3 +31,16 @@ PERFCLOUD_SHARDS=1 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards1.tx
 PERFCLOUD_SHARDS=4 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards4.txt" 2> /dev/null
 diff "$tmpdir/shards1.txt" "$tmpdir/shards4.txt"
 echo "ext_heterogeneous: byte-identical output for 1 vs 4 shards"
+
+echo "== sync-vs-async emission gate =="
+# micro_emit runs one PerfCloud scenario three times (no sink, sync sink,
+# async writer thread) plus a heavy synthetic stream, and hard-fails inside
+# the binary unless the simulation fingerprint is unchanged by observation.
+# The diff below re-checks the emitted files byte for byte from the outside.
+cmake --build --preset release -j "$(nproc)" --target micro_emit
+( cd "$tmpdir" && "$OLDPWD/build-release/bench/micro_emit" > micro_emit.log )
+diff "$tmpdir/emit_sync.csv" "$tmpdir/emit_async.csv"
+diff "$tmpdir/emit_sync.jsonl" "$tmpdir/emit_async.jsonl"
+diff "$tmpdir/emit_synth_sync.csv" "$tmpdir/emit_synth_async.csv"
+diff "$tmpdir/emit_synth_sync.jsonl" "$tmpdir/emit_synth_async.jsonl"
+echo "micro_emit: sync and async emission byte-identical (cluster + synthetic)"

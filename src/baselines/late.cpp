@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "sim/stats.hpp"
 
@@ -41,10 +42,17 @@ std::vector<wl::TaskRef> LateSpeculator::pick(const std::vector<const wl::Job*>&
       if (age < p_.min_runtime_s) continue;
       const double rate = original->attempt->progress_rate(now);
       rates.push_back(rate);
-      if (has_copy || rate <= 0.0) continue;
+      if (has_copy) continue;
+      // A mature attempt with zero progress rate is the clearest straggler
+      // there is (completely stalled), not a non-candidate: its estimated
+      // time-to-finish is unbounded, so it sorts ahead of every task that
+      // still crawls forward.
+      const double est_time_left = rate > 0.0
+                                       ? (1.0 - original->attempt->progress()) / rate
+                                       : std::numeric_limits<double>::infinity();
       candidates.push_back(Candidate{
           wl::TaskRef{job->id(), job->current_stage(), ti},
-          (1.0 - original->attempt->progress()) / rate,
+          est_time_left,
           rate,
       });
     }
@@ -60,9 +68,11 @@ std::vector<wl::TaskRef> LateSpeculator::pick(const std::vector<const wl::Job*>&
   int budget = std::min(free_slots, std::max(0, cap - speculating));
   if (budget <= 0) return {};
 
-  // Longest estimated time-to-finish first.
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Candidate& a, const Candidate& b) { return a.est_time_left > b.est_time_left; });
+  // Longest estimated time-to-finish first; stable so ties (several stalled
+  // tasks, all at +inf) keep job/task discovery order — deterministic picks.
+  std::stable_sort(
+      candidates.begin(), candidates.end(),
+      [](const Candidate& a, const Candidate& b) { return a.est_time_left > b.est_time_left; });
 
   std::vector<wl::TaskRef> picks;
   for (const Candidate& c : candidates) {

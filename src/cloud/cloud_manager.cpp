@@ -64,6 +64,16 @@ void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
   const Host* src = find_host(record->host);
   dst->hypervisor->adopt(src->hypervisor->evict(vm_id));
   record->host = dst_host;
+  if (sink_ != nullptr) {
+    sink_->emit_event(sink_source_, engine_.now(),
+                      "migrate vm=" + std::to_string(vm_id) + " dst=" + dst_host, 1.0);
+    sink_->bump_counter(sink_source_, "migrations");
+  }
+}
+
+void CloudManager::set_emit_sink(sim::EmitSink* sink) {
+  sink_ = sink;
+  if (sink_ != nullptr) sink_source_ = sink_->add_event_source("cloud");
 }
 
 int CloudManager::resolve_high_priority_collision(const std::string& host_name) {
@@ -114,6 +124,11 @@ int CloudManager::resolve_high_priority_collision(const std::string& host_name) 
     if (best_host.empty()) break;  // no strictly better placement exists
     migrate_vm(vm_id, best_host);
     ++moved;
+  }
+  if (moved > 0 && sink_ != nullptr) {
+    sink_->emit_event(sink_source_, engine_.now(), "escalation host=" + host_name,
+                      static_cast<double>(moved));
+    sink_->bump_counter(sink_source_, "escalations");
   }
   return moved;
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/emit.hpp"
 #include "sim/engine.hpp"
 #include "virt/hypervisor.hpp"
 
@@ -83,6 +84,13 @@ class CloudManager {
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] double tick_dt() const { return tick_dt_; }
 
+  /// Report cloud-level placement activity (VM migrations, escalation
+  /// resolutions) through `sink` as events under one "cloud" source. These
+  /// emissions happen on the engine thread (setup or the post-barrier
+  /// escalation phase), never inside a shard task. Call during setup;
+  /// nullptr detaches.
+  void set_emit_sink(sim::EmitSink* sink);
+
  private:
   struct Host {
     std::string name;
@@ -92,6 +100,8 @@ class CloudManager {
   [[nodiscard]] const Host* find_host(const std::string& name) const;
 
   sim::Engine& engine_;
+  sim::EmitSink* sink_ = nullptr;
+  sim::EmitSink::SourceId sink_source_ = 0;
   std::vector<Host> hosts_;
   std::vector<VmRecord> registry_;
   int next_vm_id_ = 1;

@@ -11,14 +11,17 @@ namespace {
 
 /// Shared threshold logic: a suspect is an antagonist when its correlation
 /// evidence crosses the threshold AND it is heavy enough relative to the
-/// heaviest suspect (the §III-B magnitude gate).
+/// heaviest suspect (the §III-B magnitude gate). When every suspect's
+/// windowed usage is zero the gate fails for all of them: `usage >= f * 0`
+/// would otherwise hold trivially, flagging idle suspects whose correlation
+/// is a numerical artifact — an idle VM puts pressure on nothing.
 void finalize_scores(const PerfCloudConfig& cfg, const std::vector<double>& usage,
                      double max_usage, std::vector<SuspectScore>& out) {
   for (std::size_t i = 0; i < out.size(); ++i) {
     SuspectScore& score = out[i];
     const double evidence =
         cfg.use_absolute_correlation ? std::abs(score.correlation) : score.correlation;
-    const bool heavy_enough = usage[i] >= cfg.min_usage_fraction * max_usage;
+    const bool heavy_enough = max_usage > 0.0 && usage[i] >= cfg.min_usage_fraction * max_usage;
     score.antagonist = evidence >= cfg.correlation_threshold && heavy_enough;
   }
 }

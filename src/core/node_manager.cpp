@@ -27,6 +27,16 @@ void NodeManager::start() {
       [this](sim::SimTime now) { run_pending_escalation(now); });
 }
 
+void NodeManager::attach_sink(sim::EmitSink& sink, const std::vector<std::string>& app_ids) {
+  sink_ = &sink;
+  sink_source_ = sink.add_event_source(host_);
+  for (const std::string& app : app_ids) {
+    sink_columns_.try_emplace(
+        app, SinkColumns{sink.add_trace_column(host_ + "/" + app + "/io_dev"),
+                         sink.add_trace_column(host_ + "/" + app + "/cpi_dev")});
+  }
+}
+
 sim::TimeSeries& NodeManager::signal(std::map<std::string, sim::TimeSeries>& store,
                                      const std::string& app_id) {
   return store.try_emplace(app_id, sim::TimeSeries(app_id)).first->second;
@@ -85,6 +95,13 @@ void NodeManager::local_step(sim::SimTime now) {
     sim::TimeSeries& cpi_sig = signal(cpi_signals_, app_id);
     io_sig.add(now, det.io_deviation);
     cpi_sig.add(now, det.cpi_deviation);
+    if (sink_ != nullptr) {
+      const auto cols = sink_columns_.find(app_id);
+      if (cols != sink_columns_.end()) {
+        sink_->emit_sample(cols->second.io_dev, now, det.io_deviation);
+        sink_->emit_sample(cols->second.cpi_dev, now, det.cpi_deviation);
+      }
+    }
     any_io_contended |= det.io_contended;
     any_cpu_contended |= det.cpu_contended;
 
@@ -95,15 +112,31 @@ void NodeManager::local_step(sim::SimTime now) {
       io_suspects.push_back(SuspectSignal{id, &monitor_.io_throughput_series(id)});
       cpu_suspects.push_back(SuspectSignal{id, &monitor_.llc_miss_series(id)});
     }
+    // Record an identification timestamp; emit a report event only when the
+    // suspect was not already identified within the memory horizon, so the
+    // event stream marks identification *episodes*, not every interval of a
+    // sustained one.
+    const auto record_identification = [&](std::map<int, sim::SimTime>& ids,
+                                           const SuspectScore& s, const char* kind) {
+      const auto [it, inserted] = ids.try_emplace(s.vm_id, now);
+      const bool fresh = inserted || now - it->second > cfg_.identification_memory_s;
+      it->second = now;
+      if (fresh && sink_ != nullptr) {
+        sink_->emit_event(sink_source_, now, kind + std::string(" vm=") + std::to_string(s.vm_id),
+                          s.correlation);
+        sink_->bump_counter(sink_source_, std::string(kind) + "_identifications");
+      }
+    };
     for (const SuspectScore& s : identifier_.score_incremental(io_sig, io_suspects)) {
       io_scores_.push_back(s);
-      if (s.antagonist) io_identified_at_[s.vm_id] = now;
+      if (s.antagonist) record_identification(io_identified_at_, s, "io_antagonist");
     }
     for (const SuspectScore& s : identifier_.score_incremental(cpi_sig, cpu_suspects)) {
       cpu_scores_.push_back(s);
-      if (s.antagonist) cpu_identified_at_[s.vm_id] = now;
+      if (s.antagonist) record_identification(cpu_identified_at_, s, "cpu_antagonist");
     }
   }
+  if (sink_ != nullptr) sink_->bump_counter(sink_source_, "control_intervals");
 
   // A suspect stays identified for a while after its correlation peak: the
   // strongest evidence appears at the antagonist's arrival, which may lead
@@ -155,6 +188,12 @@ void NodeManager::run_resource_control(Resource res, bool contended,
     CubicController& ctrl = *it->second;
     ctrl.step(contended);
     history.at(vm_id).add(now, ctrl.cap());
+    if (sink_ != nullptr) {
+      sink_->emit_event(sink_source_, now,
+                        (res == Resource::kIo ? "io_cap vm=" : "cpu_cap vm=") +
+                            std::to_string(vm_id),
+                        ctrl.cap());
+    }
 
     if (ctrl.lifted()) {
       if (res == Resource::kIo) {

@@ -20,6 +20,7 @@
 #include "core/detector.hpp"
 #include "core/identifier.hpp"
 #include "core/monitor.hpp"
+#include "sim/emit.hpp"
 
 namespace perfcloud::core {
 
@@ -57,6 +58,19 @@ class NodeManager {
   /// Used by the "default system" baseline and by the detection figures.
   void set_control_enabled(bool enabled) { control_enabled_ = enabled; }
 
+  /// Route this node manager's observation output through `sink` instead of
+  /// leaving it to end-of-run series assembly: deviation-signal samples of
+  /// the given high-priority applications become trace columns
+  /// ("<host>/<app>/io_dev" and ".../cpi_dev"), cap updates and fresh
+  /// antagonist identifications become report events, and per-host counters
+  /// feed the run summary. Emission happens inside local_step — thread-
+  /// confined to this host's shard task; the sink stages it and writes off
+  /// the barrier. Call during setup, before the first control interval. The
+  /// in-memory series remain (the identifier correlates against them and
+  /// the figure benches read them); what moves off the control path is the
+  /// formatting and file output.
+  void attach_sink(sim::EmitSink& sink, const std::vector<std::string>& app_ids);
+
   // --- Introspection for tests and figure benches ---
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
   /// Deviation-signal series of one high-priority application on this host.
@@ -78,9 +92,17 @@ class NodeManager {
   [[nodiscard]] sim::TimeSeries& signal(std::map<std::string, sim::TimeSeries>& store,
                                         const std::string& app_id);
 
+  struct SinkColumns {
+    sim::EmitSink::SourceId io_dev = 0;
+    sim::EmitSink::SourceId cpi_dev = 0;
+  };
+
   cloud::CloudManager& cloud_;
   std::string host_;
   PerfCloudConfig cfg_;
+  sim::EmitSink* sink_ = nullptr;
+  sim::EmitSink::SourceId sink_source_ = 0;
+  std::map<std::string, SinkColumns> sink_columns_;
   PerformanceMonitor monitor_;
   InterferenceDetector detector_;
   AntagonistIdentifier identifier_;

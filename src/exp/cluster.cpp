@@ -64,6 +64,14 @@ void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool c
   }
 }
 
+void attach_sink(Cluster& cluster, EventSink& sink) {
+  sink.bind(*cluster.engine);
+  cluster.cloud->set_emit_sink(&sink);
+  for (const auto& nm : cluster.node_managers) {
+    nm->attach_sink(sink, {cluster.params.app_id});
+  }
+}
+
 namespace {
 virt::Vm& boot_low_priority(Cluster& c, const std::string& host, const std::string& name,
                             int vcpus) {

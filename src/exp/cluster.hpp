@@ -10,6 +10,7 @@
 
 #include "cloud/cloud_manager.hpp"
 #include "core/node_manager.hpp"
+#include "exp/event_sink.hpp"
 #include "sim/engine.hpp"
 #include "workloads/antagonists.hpp"
 #include "workloads/framework.hpp"
@@ -67,6 +68,13 @@ struct Cluster {
 /// Attach one node manager per host. `control` false gives monitoring-only
 /// node managers (the "default system" curves in Figs 3/4/9).
 void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool control = true);
+
+/// Wire `sink` into the cluster: the engine drains it after every sharded
+/// barrier and flushes it when a run returns, the cloud manager reports
+/// migrations/escalations through it, and every node manager emits its
+/// deviation-signal columns and control events for the cluster's app. Call
+/// after enable_perfcloud; the sink must outlive the cluster's runs.
+void attach_sink(Cluster& cluster, EventSink& sink);
 
 // --- Antagonist VM helpers: boot a low-priority VM running the given tool
 //     on the chosen host; return its VM id. ---

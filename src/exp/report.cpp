@@ -1,6 +1,7 @@
 #include "exp/report.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <ostream>
@@ -13,6 +14,29 @@ std::string fmt(double v, int precision) {
   std::ostringstream ss;
   ss << std::fixed << std::setprecision(precision) << v;
   return ss.str();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
 }
 
 Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}

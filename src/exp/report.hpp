@@ -30,6 +30,10 @@ class Table {
 /// Format helper: fixed precision without trailing garbage.
 [[nodiscard]] std::string fmt(double v, int precision = 3);
 
+/// Escape `s` for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters). Used by the JSONL event writer.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
 /// Print a standard figure banner so bench output is self-describing.
 void print_banner(std::ostream& os, const std::string& figure, const std::string& description);
 

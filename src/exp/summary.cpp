@@ -39,6 +39,18 @@ RunSummary summarize(const wl::ScaleOutFramework& framework) {
   return s;
 }
 
+void record(sim::EmitSink& sink, sim::EmitSink::SourceId source, const RunSummary& s) {
+  sink.bump_counter(source, "jobs_submitted", s.jobs_submitted);
+  sink.bump_counter(source, "jobs_completed", s.jobs_completed);
+  sink.bump_counter(source, "jobs_killed", s.jobs_killed);
+  sink.bump_counter(source, "mean_jct_s", s.mean_jct);
+  sink.bump_counter(source, "p95_jct_s", s.p95_jct);
+  sink.bump_counter(source, "attempts_total", s.attempts_total);
+  sink.bump_counter(source, "attempts_speculative", s.attempts_speculative);
+  sink.bump_counter(source, "attempts_killed", s.attempts_killed);
+  sink.bump_counter(source, "utilization_efficiency", s.utilization_efficiency);
+}
+
 void print(std::ostream& os, const RunSummary& s) {
   os << "jobs: " << s.jobs_completed << "/" << s.jobs_submitted << " completed";
   if (s.jobs_killed > 0) os << ", " << s.jobs_killed << " killed";

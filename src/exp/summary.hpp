@@ -3,6 +3,7 @@
 
 #include <iosfwd>
 
+#include "sim/emit.hpp"
 #include "workloads/framework.hpp"
 
 namespace perfcloud::exp {
@@ -26,5 +27,10 @@ struct RunSummary {
 
 /// Human-readable multi-line dump.
 void print(std::ostream& os, const RunSummary& s);
+
+/// Record the summary's fields as counters of `source` on `sink`, so they
+/// land in the sink's closing summary record. Counters accumulate: record a
+/// summary once per run, or deltas between runs, not both.
+void record(sim::EmitSink& sink, sim::EmitSink::SourceId source, const RunSummary& s);
 
 }  // namespace perfcloud::exp

@@ -1,9 +1,9 @@
 #include "exp/trace.hpp"
 
-#include <cmath>
 #include <fstream>
-#include <set>
 #include <stdexcept>
+
+#include "exp/event_sink.hpp"
 
 namespace perfcloud::exp {
 
@@ -15,33 +15,33 @@ void TraceRecorder::write_csv(const std::string& path) const {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("cannot open " + path);
 
-  std::set<double> grid;
-  for (const Entry& e : entries_) {
-    for (std::size_t i = 0; i < e.series->size(); ++i) {
-      grid.insert(e.series->time(i).seconds());
-    }
-  }
+  std::vector<std::string> columns;
+  columns.reserve(entries_.size());
+  for (const Entry& e : entries_) columns.push_back(e.column);
+  CsvGridWriter writer(f, std::move(columns));
 
-  f << "t";
-  for (const Entry& e : entries_) f << ',' << e.column;
-  f << '\n';
-
-  // March one cursor per series along the sorted union grid.
+  // K-way merge of the series by (time, column index), feeding the streaming
+  // grid writer — the same merge/format path the EventSink's writer thread
+  // uses, so batch and streamed emission of identical samples produce
+  // identical bytes. Replaces the materialized std::set union grid, whose
+  // exact-double keys split timestamps closer than the alignment tolerance
+  // into duplicate rows with spuriously empty cells.
   std::vector<std::size_t> cursor(entries_.size(), 0);
-  for (const double t : grid) {
-    f << t;
+  for (;;) {
+    std::size_t best = entries_.size();
     for (std::size_t c = 0; c < entries_.size(); ++c) {
-      const sim::TimeSeries& s = *entries_[c].series;
-      std::size_t& i = cursor[c];
-      while (i < s.size() && s.time(i).seconds() < t - 1e-9) ++i;
-      f << ',';
-      if (i < s.size() && std::abs(s.time(i).seconds() - t) <= 1e-9) {
-        f << s.value(i);
-        ++i;
+      if (cursor[c] >= entries_[c].series->size()) continue;
+      if (best == entries_.size() ||
+          entries_[c].series->time(cursor[c]) < entries_[best].series->time(cursor[best])) {
+        best = c;
       }
     }
-    f << '\n';
+    if (best == entries_.size()) break;
+    const sim::TimeSeries& s = *entries_[best].series;
+    writer.add(best, s.time(cursor[best]).seconds(), s.value(cursor[best]));
+    ++cursor[best];
   }
+  writer.finish();
 }
 
 }  // namespace perfcloud::exp

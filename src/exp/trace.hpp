@@ -18,7 +18,12 @@ class TraceRecorder {
   [[nodiscard]] std::size_t columns() const { return entries_.size(); }
 
   /// Write "t,<col1>,<col2>,..." rows; the time grid is the union of all
-  /// sample times. Throws std::runtime_error if the file cannot be opened.
+  /// sample times, with times closer than sim::kTimeAlignTolS collapsed into
+  /// one row (a near-duplicate timestamp is the same instant everywhere else
+  /// in the system, so it must not split into two half-empty rows here).
+  /// Streams through the same grid writer as exp::EventSink instead of
+  /// materializing the union grid. Throws std::runtime_error if the file
+  /// cannot be opened.
   void write_csv(const std::string& path) const;
 
  private:

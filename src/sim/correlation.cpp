@@ -52,7 +52,7 @@ std::vector<double> aligned_tail(const TimeSeries& victim, const TimeSeries& sus
     std::size_t hi = suspect.size();
     while (lo < hi) {
       const std::size_t mid = (lo + hi) / 2;
-      if (suspect.time(mid).seconds() < t0 - 1e-6) {
+      if (suspect.time(mid).seconds() < t0 - kTimeAlignTolS) {
         lo = mid + 1;
       } else {
         hi = mid;
@@ -62,8 +62,8 @@ std::vector<double> aligned_tail(const TimeSeries& victim, const TimeSeries& sus
   }
   for (std::size_t i = 0; i < take; ++i) {
     const double t = victim.time(start + i).seconds();
-    while (j < suspect.size() && suspect.time(j).seconds() < t - 1e-6) ++j;
-    if (j < suspect.size() && std::abs(suspect.time(j).seconds() - t) <= 1e-6) {
+    while (j < suspect.size() && suspect.time(j).seconds() < t - kTimeAlignTolS) ++j;
+    if (j < suspect.size() && std::abs(suspect.time(j).seconds() - t) <= kTimeAlignTolS) {
       aligned[i] = suspect.value(j);
       ++j;
     }

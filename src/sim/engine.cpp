@@ -56,6 +56,7 @@ ShardedPeriodic& Engine::every_sharded(double period, SimTime start) {
         [this, sp](SimTime now) {
           run_shard_tasks(sp->tasks_, now);
           if (sp->barrier_) sp->barrier_(now);
+          for (const PeriodicFn& hook : post_barrier_hooks_) hook(now);
         },
         start);
   return *sp;
@@ -110,6 +111,7 @@ SimTime Engine::run_while(const std::function<bool()>& keep_going, SimTime t_end
       queue_.run_next();
     }
   }
+  for (const PeriodicFn& hook : run_end_hooks_) hook(now_);
   return now_;
 }
 

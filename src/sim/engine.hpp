@@ -84,6 +84,18 @@ class Engine {
   /// the engine's lifetime; add per-host tasks to it during setup.
   ShardedPeriodic& every_sharded(double period, SimTime start = SimTime(0.0));
 
+  /// Run `fn` on the engine thread after every sharded periodic's firing,
+  /// once its tasks have cleared the barrier and its sequential phase has
+  /// run. This is the drain point for emission sinks: everything the shard
+  /// tasks staged during the quantum is quiescent here. Hooks run in
+  /// registration order; `fn` must outlive the engine's runs.
+  void add_post_barrier_hook(PeriodicFn fn) { post_barrier_hooks_.push_back(std::move(fn)); }
+
+  /// Run `fn` on the engine thread whenever a run_until/run_while call
+  /// returns (end-of-run flush point for emission sinks). Hooks run in
+  /// registration order, every time a run returns.
+  void add_run_end_hook(PeriodicFn fn) { run_end_hooks_.push_back(std::move(fn)); }
+
   /// Worker threads for sharded periodics. Defaults to PERFCLOUD_SHARDS
   /// (>= 1) or 1 when unset; results are byte-identical for any value.
   [[nodiscard]] unsigned shards() const { return shards_; }
@@ -140,6 +152,8 @@ class Engine {
   std::priority_queue<DueEntry, std::vector<DueEntry>, std::greater<>> due_;
   /// unique_ptr for address stability: firing closures hold raw pointers.
   std::vector<std::unique_ptr<ShardedPeriodic>> sharded_;
+  std::vector<PeriodicFn> post_barrier_hooks_;
+  std::vector<PeriodicFn> run_end_hooks_;
   unsigned shards_;
   std::unique_ptr<ShardPool> pool_;
   Rng rng_;

@@ -66,7 +66,7 @@ class TimeSeries {
   /// Value of the sample taken at exactly `t` (within `tol` seconds);
   /// nullopt if no sample exists there. O(1) when `t` is the newest sample
   /// time (the monitor/identifier hot path), O(log n) otherwise.
-  [[nodiscard]] std::optional<double> value_at(SimTime t, double tol = 1e-6) const;
+  [[nodiscard]] std::optional<double> value_at(SimTime t, double tol = kTimeAlignTolS) const;
 
  private:
   std::string name_;
@@ -81,6 +81,7 @@ class TimeSeries {
 /// missing-as-zero alignment PerfCloud uses before correlating victim and
 /// suspect signals.
 [[nodiscard]] std::vector<double> align_to(const TimeSeries& reference, const TimeSeries& series,
-                                           double missing_value = 0.0, double tol = 1e-6);
+                                           double missing_value = 0.0,
+                                           double tol = kTimeAlignTolS);
 
 }  // namespace perfcloud::sim

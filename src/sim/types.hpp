@@ -41,6 +41,16 @@ class SimTime {
   double seconds_ = 0.0;
 };
 
+/// Tolerance (seconds) under which two sample timestamps count as the same
+/// instant — used both when aligning suspect samples onto a victim's grid
+/// (§III-B missing-as-zero alignment) and when deduping trace-grid rows.
+/// One constant everywhere: if the correlation path and the trace writer
+/// disagreed on what a shared sample time is, a pair could correlate as
+/// aligned yet print as two rows. Well above the FP error periodic schedules
+/// accumulate (repeated addition of 0.1 s drifts ~1e-10 s over 1e5 ticks)
+/// and far below any real sampling interval.
+inline constexpr double kTimeAlignTolS = 1e-6;
+
 /// Number of bytes, used for I/O volumes, memory footprints and bandwidth
 /// bookkeeping. Kept as double: the simulator deals in rates and fractional
 /// per-tick quantities, not addressable storage.

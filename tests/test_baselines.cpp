@@ -1,11 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "baselines/dolly.hpp"
 #include "baselines/late.hpp"
 #include "baselines/scheme.hpp"
 #include "baselines/static_cap.hpp"
 #include "exp/cluster.hpp"
+#include "sim/rng.hpp"
 #include "workloads/benchmarks.hpp"
+#include "workloads/job.hpp"
 
 namespace perfcloud::base {
 namespace {
@@ -127,6 +132,44 @@ TEST(Late, YoungTasksAreNotJudged) {
 TEST(Late, EmptyJobListIsSafe) {
   LateSpeculator late(LateSpeculator::Params{}, 12);
   EXPECT_TRUE(late.pick({}, sim::SimTime(0.0), 4).empty());
+}
+
+TEST(Late, ZeroProgressStragglerIsPickedFirst) {
+  // A mature attempt with zero progress rate is the clearest straggler there
+  // is — completely stalled, unbounded time-to-finish. It must be speculated
+  // (and sorted ahead of tasks that still crawl forward), not silently
+  // dropped by the est_time_left division.
+  wl::TaskSpec ts;
+  ts.phases.push_back(wl::PhaseSpec{.kind = wl::PhaseKind::kCompute, .instructions = 1.0e9});
+  wl::JobSpec spec;
+  spec.name = "stall";
+  spec.task_jitter_sigma = 0.0;
+  spec.stages.push_back(wl::StageSpec{.name = "s0", .num_tasks = 2, .task = ts});
+  sim::Rng rng(1);
+  wl::Job job(1, spec, sim::SimTime(0.0), rng);
+
+  auto& tasks = job.stage(0);
+  ASSERT_EQ(tasks.size(), 2u);
+  for (wl::TaskState& t : tasks) {
+    wl::AttemptRecord rec;
+    rec.attempt = std::make_unique<wl::TaskAttempt>(t.spec, sim::SimTime(0.0));
+    rec.start = sim::SimTime(0.0);
+    rec.running = true;
+    t.attempts.push_back(std::move(rec));
+  }
+  // Task 1 crawls forward; task 0 never advances at all.
+  tasks[1].attempts[0].attempt->advance(1.0e8, 0.0, 0.0);
+
+  LateSpeculator late(
+      LateSpeculator::Params{
+          .speculative_cap = 1.0, .slow_task_percentile = 1.0, .min_runtime_s = 1.0},
+      4);
+  const auto picks = late.pick({&job}, sim::SimTime(100.0), 2);
+  ASSERT_EQ(picks.size(), 2u);
+  EXPECT_EQ(picks[0].job, 1);
+  EXPECT_EQ(picks[0].stage, 0u);
+  EXPECT_EQ(picks[0].task, 0u);  // the stalled task sorts first (est = +inf)
+  EXPECT_EQ(picks[1].task, 1u);
 }
 
 }  // namespace

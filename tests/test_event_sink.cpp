@@ -1,0 +1,235 @@
+// EventSink: the staged, optionally-asynchronous emission subsystem. The
+// load-bearing property is byte-identity — sync inline writes, the async
+// writer thread, and the batch TraceRecorder path must all produce the same
+// files for the same records.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "exp/event_sink.hpp"
+#include "exp/report.hpp"
+#include "exp/summary.hpp"
+#include "exp/trace.hpp"
+#include "sim/time_series.hpp"
+
+namespace perfcloud::exp {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+// --- CsvGridWriter ---
+
+TEST(CsvGridWriter, StreamsAlignedGrid) {
+  std::ostringstream os;
+  CsvGridWriter w(os, {"alpha", "beta"});
+  w.add(0, 1.0, 10.0);
+  w.add(0, 2.0, 20.0);
+  w.add(1, 2.0, 200.0);
+  w.add(1, 3.0, 300.0);
+  w.finish();
+  EXPECT_EQ(os.str(), "t,alpha,beta\n1,10,\n2,20,200\n3,,300\n");
+  EXPECT_EQ(w.rows_written(), 3u);
+}
+
+TEST(CsvGridWriter, ToleranceCollapsesRowsAndLastRecordWins) {
+  std::ostringstream os;
+  CsvGridWriter w(os, {"a"});
+  w.add(0, 1.0, 1.0);
+  w.add(0, 1.0 + 2e-7, 2.0);  // same instant up to tolerance: one row, last wins
+  w.finish();
+  EXPECT_EQ(os.str(), "t,a\n1,2\n");
+}
+
+TEST(CsvGridWriter, TimeRegressionThrows) {
+  std::ostringstream os;
+  CsvGridWriter w(os, {"a"});
+  w.add(0, 5.0, 1.0);
+  EXPECT_THROW(w.add(0, 1.0, 2.0), std::logic_error);
+}
+
+TEST(CsvGridWriter, UnknownColumnThrows) {
+  std::ostringstream os;
+  CsvGridWriter w(os, {"a"});
+  EXPECT_THROW(w.add(1, 0.0, 0.0), std::out_of_range);
+}
+
+TEST(CsvGridWriter, SealFlushesOnlyProvenClosedRows) {
+  std::ostringstream os;
+  CsvGridWriter w(os, {"a"});
+  w.add(0, 1.0, 1.0);
+  w.seal(1.0);  // a later sweep could still fire at the watermark itself
+  EXPECT_EQ(w.rows_written(), 0u);
+  w.seal(2.0);  // now the row is provably complete
+  EXPECT_EQ(w.rows_written(), 1u);
+  w.finish();
+  EXPECT_EQ(w.rows_written(), 1u);  // finish is idempotent, no empty extra row
+}
+
+// --- EventSink ---
+
+/// Drive one sink through a deterministic record stream with interleaved
+/// drains, the way the engine's post-barrier hook does.
+void emit_workload(EventSink& sink) {
+  const auto io = sink.add_trace_column("h0/io_dev");
+  const auto cpi = sink.add_trace_column("h0/cpi_dev");
+  const auto cloud = sink.add_event_source("cloud");
+  const auto node = sink.add_event_source("host-0");
+  for (int i = 0; i < 200; ++i) {
+    const sim::SimTime t(i * 0.1);
+    sink.emit_sample(io, t, 1.5 * i);
+    if (i % 3 == 0) sink.emit_sample(cpi, t, 0.25 * i);
+    if (i % 7 == 0) sink.emit_event(cloud, t, "migrate vm=" + std::to_string(i), 1.0);
+    if (i % 11 == 0) sink.emit_event(node, t, "io_cap vm=3", 1.0e6 / (i + 1));
+    sink.bump_counter(node, "control_intervals");
+    if (i % 10 == 0) sink.drain(t);
+  }
+  sink.bump_counter(cloud, "migrations", 29.0);
+  sink.close();
+}
+
+TEST(EventSink, SyncAndAsyncProduceByteIdenticalFiles) {
+  const std::string sync_csv = "/tmp/perfcloud_sink_sync.csv";
+  const std::string sync_jsonl = "/tmp/perfcloud_sink_sync.jsonl";
+  const std::string async_csv = "/tmp/perfcloud_sink_async.csv";
+  const std::string async_jsonl = "/tmp/perfcloud_sink_async.jsonl";
+  {
+    EventSink sink({.trace_csv_path = sync_csv, .events_jsonl_path = sync_jsonl, .async = false});
+    emit_workload(sink);
+    EXPECT_FALSE(sink.async());
+    EXPECT_EQ(sink.samples_recorded(), 200u + 67u);
+    EXPECT_GT(sink.batches_drained(), 0u);
+  }
+  {
+    EventSink sink(
+        {.trace_csv_path = async_csv, .events_jsonl_path = async_jsonl, .async = true});
+    emit_workload(sink);
+    EXPECT_TRUE(sink.async());
+  }
+  const std::string want_csv = slurp(sync_csv);
+  const std::string want_jsonl = slurp(sync_jsonl);
+  EXPECT_FALSE(want_csv.empty());
+  EXPECT_FALSE(want_jsonl.empty());
+  EXPECT_EQ(slurp(async_csv), want_csv);
+  EXPECT_EQ(slurp(async_jsonl), want_jsonl);
+}
+
+TEST(EventSink, MatchesTraceRecorderBytesForIdenticalSamples) {
+  // The streaming sink and the batch recorder share one merge/format path;
+  // feeding both the same gappy two-column sample set must give equal bytes.
+  sim::TimeSeries a("a");
+  sim::TimeSeries b("b");
+  for (int i = 0; i < 50; ++i) {
+    const sim::SimTime t(i * 2.0);
+    a.add(t, 3.0 * i);
+    if (i % 4 != 0) b.add(t, 100.0 - i);
+  }
+  TraceRecorder rec;
+  rec.add("left", a);
+  rec.add("right", b);
+  const std::string rec_path = "/tmp/perfcloud_sink_recorder.csv";
+  rec.write_csv(rec_path);
+
+  const std::string sink_path = "/tmp/perfcloud_sink_streamed.csv";
+  {
+    EventSink sink({.trace_csv_path = sink_path, .async = true});
+    const auto left = sink.add_trace_column("left");
+    const auto right = sink.add_trace_column("right");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      sink.emit_sample(left, a.time(i), a.value(i));
+      if (const auto v = b.value_at(a.time(i))) sink.emit_sample(right, a.time(i), *v);
+      if (i % 5 == 0) sink.drain(a.time(i));
+    }
+    sink.close();
+  }
+  EXPECT_EQ(slurp(sink_path), slurp(rec_path));
+}
+
+TEST(EventSink, WritesEventsAndSummaryJsonl) {
+  const std::string path = "/tmp/perfcloud_sink_events.jsonl";
+  {
+    EventSink sink({.events_jsonl_path = path, .async = false});
+    const auto src = sink.add_event_source("cloud");
+    sink.emit_event(src, sim::SimTime(1.5), "migrate vm=7 dst=host-1", 1.0);
+    sink.bump_counter(src, "migrations");
+    sink.bump_counter(src, "migrations");
+    sink.drain(sim::SimTime(2.0));
+    sink.close();
+  }
+  std::ifstream f(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_EQ(line, R"({"t":1.5,"source":"cloud","kind":"migrate vm=7 dst=host-1","value":1})");
+  ASSERT_TRUE(std::getline(f, line));
+  EXPECT_EQ(line, R"({"summary":{"cloud":{"migrations":2}}})");
+  EXPECT_FALSE(std::getline(f, line));
+}
+
+TEST(EventSink, EmptySinkWritesHeaderOnlyCsvLikeEmptyRecorder) {
+  const std::string path = "/tmp/perfcloud_sink_empty.csv";
+  {
+    EventSink sink({.trace_csv_path = path, .async = true});
+    sink.add_trace_column("only");
+    sink.close();
+  }
+  EXPECT_EQ(slurp(path), "t,only\n");
+}
+
+TEST(EventSink, RegistrationAfterFirstDrainThrows) {
+  EventSink sink({.async = false});
+  sink.add_trace_column("a");
+  sink.drain(sim::SimTime(0.0));
+  EXPECT_THROW(sink.add_trace_column("b"), std::logic_error);
+  EXPECT_THROW(sink.add_event_source("s"), std::logic_error);
+}
+
+TEST(EventSink, EmitAfterCloseThrows) {
+  EventSink sink({.async = false});
+  const auto col = sink.add_trace_column("a");
+  const auto src = sink.add_event_source("s");
+  sink.close();
+  EXPECT_THROW(sink.emit_sample(col, sim::SimTime(0.0), 0.0), std::logic_error);
+  EXPECT_THROW(sink.emit_event(src, sim::SimTime(0.0), "x", 0.0), std::logic_error);
+  EXPECT_THROW(sink.bump_counter(src, "k"), std::logic_error);
+}
+
+TEST(EventSink, BadPathThrows) {
+  EXPECT_THROW(EventSink({.trace_csv_path = "/nonexistent-dir/x.csv"}), std::runtime_error);
+}
+
+TEST(EventSink, SummaryRecordRoundTripsRunSummary) {
+  const std::string path = "/tmp/perfcloud_sink_summary.jsonl";
+  RunSummary s;
+  s.jobs_submitted = 5;
+  s.jobs_completed = 4;
+  s.mean_jct = 123.5;
+  s.attempts_total = 40;
+  {
+    EventSink sink({.events_jsonl_path = path, .async = false});
+    const auto src = sink.add_event_source("run");
+    record(sink, src, s);
+    sink.close();
+  }
+  const std::string got = slurp(path);
+  EXPECT_NE(got.find("\"jobs_submitted\":5"), std::string::npos);
+  EXPECT_NE(got.find("\"jobs_completed\":4"), std::string::npos);
+  EXPECT_NE(got.find("\"mean_jct_s\":123.5"), std::string::npos);
+  EXPECT_NE(got.find("\"attempts_total\":40"), std::string::npos);
+}
+
+TEST(JsonEscape, EscapesControlAndStructuralCharacters) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+  EXPECT_EQ(json_escape(std::string("\x01", 1)), "\\u0001");
+}
+
+}  // namespace
+}  // namespace perfcloud::exp

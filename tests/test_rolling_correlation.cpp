@@ -195,6 +195,51 @@ TEST(AntagonistIdentifierIncremental, MatchesBatchScores) {
   }
 }
 
+/// §III-B magnitude gate: when every suspect's windowed usage is zero there
+/// is no "heaviest user" to compare against, and nothing idle can be the
+/// antagonist — a zero-mean signal with a perfect (artifact) correlation must
+/// NOT be flagged. Before the fix, max_usage == 0 made the
+/// `usage >= fraction * max_usage` comparison vacuously true for everyone.
+TEST(AntagonistIdentifier, AllZeroUsageSuspectsAreNeverFlagged) {
+  core::PerfCloudConfig cfg;
+  cfg.correlation_window = 8;
+  cfg.min_correlation_samples = 3;
+
+  TimeSeries victim("victim");
+  TimeSeries balanced("balanced");  // windowed mean exactly zero, corr = 1
+  TimeSeries idle("idle");          // all-zero samples
+  for (int i = 0; i < 8; ++i) {
+    const SimTime t(i * 1.0);
+    victim.add(t, static_cast<double>(i));
+    balanced.add(t, static_cast<double>(i) - 3.5);
+    idle.add(t, 0.0);
+  }
+  const std::vector<core::SuspectSignal> suspects = {{1, &balanced}, {2, &idle}};
+
+  const core::AntagonistIdentifier batch(cfg);
+  const auto scores = batch.score(victim, suspects);
+  ASSERT_EQ(scores.size(), 2u);
+  EXPECT_NEAR(scores[0].correlation, 1.0, 1e-9);  // the artifact is real...
+  EXPECT_FALSE(scores[0].antagonist);             // ...but an idle VM never flags
+  EXPECT_FALSE(scores[1].antagonist);
+
+  core::AntagonistIdentifier incremental(cfg);
+  const auto inc = incremental.score_incremental(victim, suspects);
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_FALSE(inc[0].antagonist);
+  EXPECT_FALSE(inc[1].antagonist);
+
+  // Sanity: with an actually-heavy suspect present the gate works as before —
+  // the heavy correlated suspect flags, the zero-usage one still cannot.
+  TimeSeries heavy("heavy");
+  for (int i = 0; i < 8; ++i) heavy.add(SimTime(i * 1.0), 10.0 * i);
+  const std::vector<core::SuspectSignal> with_heavy = {{1, &balanced}, {3, &heavy}};
+  const auto scores2 = batch.score(victim, with_heavy);
+  ASSERT_EQ(scores2.size(), 2u);
+  EXPECT_FALSE(scores2[0].antagonist);
+  EXPECT_TRUE(scores2[1].antagonist);
+}
+
 TEST(AntagonistIdentifierIncremental, VictimResetRebuildsState) {
   core::PerfCloudConfig cfg;
   cfg.correlation_window = 8;

@@ -41,6 +41,45 @@ TEST(TraceRecorder, WritesAlignedCsv) {
   EXPECT_EQ(lines[3], "3,,300");     // a missing at t=3
 }
 
+TEST(TraceRecorder, NearDuplicateTimestampsCollapseToOneRow) {
+  // Two columns sampled at "the same" instant but drifted apart by
+  // accumulated FP error in their periodic schedules: they must land in ONE
+  // grid row, not two rows with spuriously empty cells.
+  sim::TimeSeries a("a");
+  a.add(sim::SimTime(1.0), 10.0);
+  a.add(sim::SimTime(2.0), 20.0);
+  sim::TimeSeries b("b");
+  b.add(sim::SimTime(1.0 + 2e-7), 100.0);
+  b.add(sim::SimTime(2.0 + 5e-7), 200.0);
+
+  TraceRecorder rec;
+  rec.add("alpha", a);
+  rec.add("beta", b);
+  const std::string path = "/tmp/perfcloud_trace_neardup.csv";
+  rec.write_csv(path);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "t,alpha,beta");
+  EXPECT_EQ(lines[1], "1,10,100");
+  EXPECT_EQ(lines[2], "2,20,200");
+}
+
+TEST(TraceRecorder, WithinToleranceDuplicateInOneSeriesLastWins) {
+  sim::TimeSeries a("a");
+  a.add(sim::SimTime(1.0), 5.0);
+  a.add(sim::SimTime(1.0 + 2e-7), 7.0);
+
+  TraceRecorder rec;
+  rec.add("alpha", a);
+  const std::string path = "/tmp/perfcloud_trace_dupcol.csv";
+  rec.write_csv(path);
+
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "1,7");
+}
+
 TEST(TraceRecorder, EmptyRecorderWritesHeaderOnly) {
   TraceRecorder rec;
   const std::string path = "/tmp/perfcloud_trace_empty.csv";
