@@ -15,7 +15,10 @@ UBSAN_OPTIONS=halt_on_error=1 ctest --preset asan -j "$(nproc)" "$@"
 echo "== TSan, sharded (PERFCLOUD_SHARDS=4) =="
 # Every sharded periodic in every test runs its host-local tasks across 4
 # threads, so the pool's handoffs and the thread-confinement of the
-# hypervisor/monitor/node-manager pipelines are exercised under TSan.
+# hypervisor/monitor/node-manager pipelines are exercised under TSan. The
+# fault tests (pc_faults_tests, label "faults") are part of the suite, so
+# chaos runs — host crashes, blackouts, lossy cap channels — get the same
+# sanitizer sweeps as everything else.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 PERFCLOUD_SHARDS=4 ctest --preset tsan -j "$(nproc)" "$@"
@@ -44,3 +47,25 @@ diff "$tmpdir/emit_sync.jsonl" "$tmpdir/emit_async.jsonl"
 diff "$tmpdir/emit_synth_sync.csv" "$tmpdir/emit_synth_async.csv"
 diff "$tmpdir/emit_synth_sync.jsonl" "$tmpdir/emit_synth_async.jsonl"
 echo "micro_emit: sync and async emission byte-identical (cluster + synthetic)"
+
+echo "== fault-plan determinism gate =="
+# A chaos run (host crash + blackout + disk degrade + cap-command loss +
+# VM stall + task failures) must be byte-identical — stdout AND the emitted
+# trace/event files — for any shard count and for sync vs async emission.
+# Faults may only change what the simulation does, never whether it is
+# deterministic.
+cmake --build --preset release -j "$(nproc)" --target chaos_resilience
+for mode in s1-async s4-async s1-sync; do
+  mkdir -p "$tmpdir/chaos-$mode"
+done
+PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
+  "$tmpdir/chaos-s1-async" async > "$tmpdir/chaos-s1-async/stdout.txt"
+PERFCLOUD_SHARDS=4 ./build-release/examples/chaos_resilience \
+  "$tmpdir/chaos-s4-async" async > "$tmpdir/chaos-s4-async/stdout.txt"
+PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
+  "$tmpdir/chaos-s1-sync" sync > "$tmpdir/chaos-s1-sync/stdout.txt"
+for f in stdout.txt chaos_trace.csv chaos_events.jsonl; do
+  diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s4-async/$f"
+  diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s1-sync/$f"
+done
+echo "chaos_resilience: byte-identical for 1 vs 4 shards and sync vs async emission"

@@ -32,6 +32,13 @@ const CloudManager::Host* CloudManager::find_host(const std::string& name) const
   return nullptr;
 }
 
+CloudManager::Host* CloudManager::find_host(const std::string& name) {
+  for (Host& h : hosts_) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
 virt::Hypervisor& CloudManager::host(const std::string& name) {
   const Host* h = find_host(name);
   if (h == nullptr) throw std::invalid_argument("unknown host " + name);
@@ -41,6 +48,7 @@ virt::Hypervisor& CloudManager::host(const std::string& name) {
 virt::Vm& CloudManager::boot_vm(const std::string& host_name, virt::VmConfig cfg) {
   const Host* h = find_host(host_name);
   if (h == nullptr) throw std::invalid_argument("unknown host " + host_name);
+  if (!h->up) throw std::invalid_argument("host " + host_name + " is down");
   cfg.id = next_vm_id_++;
   virt::Vm& vm = h->hypervisor->boot(cfg);
   registry_.push_back(VmRecord{vm.id(), vm.name(), host_name, vm.priority(), vm.app_id()});
@@ -50,6 +58,7 @@ virt::Vm& CloudManager::boot_vm(const std::string& host_name, virt::VmConfig cfg
 void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
   const Host* dst = find_host(dst_host);
   if (dst == nullptr) throw std::invalid_argument("unknown host " + dst_host);
+  if (!dst->up) throw std::invalid_argument("host " + dst_host + " is down");
   VmRecord* record = nullptr;
   for (VmRecord& r : registry_) {
     if (r.id == vm_id) {
@@ -69,6 +78,61 @@ void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
                       "migrate vm=" + std::to_string(vm_id) + " dst=" + dst_host, 1.0);
     sink_->bump_counter(sink_source_, "migrations");
   }
+}
+
+std::vector<virt::VmConfig> CloudManager::crash_host(const std::string& name) {
+  Host* h = find_host(name);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + name);
+  if (!h->up) throw std::invalid_argument("host " + name + " is already down");
+
+  // Victims in registry (= boot) order, so re-placement order is stable.
+  std::vector<virt::VmConfig> lost;
+  for (const VmRecord& r : registry_) {
+    if (r.host != name) continue;
+    const virt::Vm* vm = h->hypervisor->find(r.id);
+    virt::VmConfig cfg = vm->config();
+    cfg.id = r.id;  // preserved so the caller can map old id -> replacement
+    lost.push_back(std::move(cfg));
+  }
+  for (const virt::VmConfig& cfg : lost) {
+    // The evicted VM is dropped on the floor: it and its guest die here.
+    auto victim = h->hypervisor->evict(cfg.id);
+    victim.reset();
+  }
+  std::erase_if(registry_, [&](const VmRecord& r) { return r.host == name; });
+  h->up = false;
+
+  if (sink_ != nullptr) {
+    sink_->emit_event(sink_source_, engine_.now(), "host_crash host=" + name,
+                      static_cast<double>(lost.size()));
+    sink_->bump_counter(sink_source_, "host_crashes");
+  }
+  return lost;
+}
+
+void CloudManager::restore_host(const std::string& name) {
+  Host* h = find_host(name);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + name);
+  if (h->up) throw std::invalid_argument("host " + name + " is already up");
+  h->up = true;
+  if (sink_ != nullptr) {
+    sink_->emit_event(sink_source_, engine_.now(), "host_restore host=" + name, 1.0);
+    sink_->bump_counter(sink_source_, "host_restores");
+  }
+}
+
+bool CloudManager::host_up(const std::string& name) const {
+  const Host* h = find_host(name);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + name);
+  return h->up;
+}
+
+std::vector<std::string> CloudManager::up_hosts() const {
+  std::vector<std::string> names;
+  for (const Host& h : hosts_) {
+    if (h.up) names.push_back(h.name);
+  }
+  return names;
 }
 
 void CloudManager::set_emit_sink(sim::EmitSink* sink) {
@@ -112,7 +176,7 @@ int CloudManager::resolve_high_priority_collision(const std::string& host_name) 
     std::size_t best_conflict = here;
     std::size_t best_count = std::numeric_limits<std::size_t>::max();
     for (const Host& h : hosts_) {
-      if (h.name == host_name) continue;
+      if (h.name == host_name || !h.up) continue;
       const std::size_t c = conflict(h.name);
       const std::size_t count = vms_on_host(h.name).size();
       if (c < best_conflict || (c == best_conflict && !best_host.empty() && count < best_count)) {

@@ -40,6 +40,23 @@ class CloudManager {
   [[nodiscard]] virt::Hypervisor& host(const std::string& name);
   [[nodiscard]] std::size_t host_count() const { return hosts_.size(); }
 
+  // --- Host failure lifecycle (fault hooks, HostCrash) ---
+  /// Kill a host: every resident VM is destroyed (guest state lost), its
+  /// registry records are erased, and the host is marked down — it rejects
+  /// boots and migrations and is skipped as an escalation destination until
+  /// restored. The hypervisor object survives (its arbitration task keeps
+  /// ticking an empty server, which is harmless and keeps per-host random
+  /// streams untouched). Returns the victims' configs in boot order, each
+  /// with `id` still set to the OLD VM id so callers can map old -> new
+  /// after re-placement. Throws on unknown or already-down host.
+  std::vector<virt::VmConfig> crash_host(const std::string& name);
+  /// Bring a crashed host back, empty: it only rejoins placement. Throws on
+  /// unknown or already-up host.
+  void restore_host(const std::string& name);
+  [[nodiscard]] bool host_up(const std::string& name) const;
+  /// Names of hosts currently up, in provisioning order.
+  [[nodiscard]] std::vector<std::string> up_hosts() const;
+
   /// Boot a VM on the named host; VM ids are assigned by the manager.
   virt::Vm& boot_vm(const std::string& host_name, virt::VmConfig cfg);
 
@@ -95,9 +112,11 @@ class CloudManager {
   struct Host {
     std::string name;
     std::unique_ptr<virt::Hypervisor> hypervisor;
+    bool up = true;
   };
 
   [[nodiscard]] const Host* find_host(const std::string& name) const;
+  [[nodiscard]] Host* find_host(const std::string& name);
 
   sim::Engine& engine_;
   sim::EmitSink* sink_ = nullptr;

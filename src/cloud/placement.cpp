@@ -56,4 +56,31 @@ std::vector<int> place_packed(CloudManager& cloud, const std::vector<std::string
   return ids;
 }
 
+std::vector<Replacement> place_replacements(CloudManager& cloud,
+                                            const std::vector<virt::VmConfig>& lost,
+                                            bool packed) {
+  std::vector<Replacement> out;
+  if (lost.empty()) return out;
+  const std::vector<std::string> hosts = cloud.up_hosts();
+  if (hosts.empty()) throw std::runtime_error("place_replacements: no surviving hosts");
+  out.reserve(lost.size());
+  for (const virt::VmConfig& victim : lost) {
+    std::string dst = hosts.front();
+    if (!packed) {
+      std::size_t best = cloud.vms_on_host(dst).size();
+      for (std::size_t i = 1; i < hosts.size(); ++i) {
+        const std::size_t n = cloud.vms_on_host(hosts[i]).size();
+        if (n < best) {
+          best = n;
+          dst = hosts[i];
+        }
+      }
+    }
+    virt::VmConfig cfg = victim;  // boot_vm assigns the fresh id
+    const virt::Vm& vm = cloud.boot_vm(dst, cfg);
+    out.push_back(Replacement{victim.id, vm.id(), dst});
+  }
+  return out;
+}
+
 }  // namespace perfcloud::cloud

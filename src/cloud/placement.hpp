@@ -30,4 +30,22 @@ std::vector<int> place_packed(CloudManager& cloud, const std::vector<std::string
                               int count, int per_host, virt::VmConfig shape,
                               const std::string& app_id);
 
+/// Old VM id -> its replacement after a host crash.
+struct Replacement {
+  int old_id = 0;
+  int new_id = 0;
+  std::string host;
+};
+
+/// Re-place the victims of a host crash on the surviving (up) hosts. The
+/// `lost` configs come from CloudManager::crash_host — each carries the old
+/// VM id, preserved in the returned mapping; the booted replacements get
+/// fresh ids and keep their old names, shapes, priorities, and app ids, but
+/// come back with NO guest attached (the guest died with the host). Spread
+/// mode places each victim on the least-populated up host (ties broken by
+/// provisioning order); packed mode piles every victim onto the first up
+/// host. Throws when no host survives.
+std::vector<Replacement> place_replacements(CloudManager& cloud,
+                                            const std::vector<virt::VmConfig>& lost, bool packed);
+
 }  // namespace perfcloud::cloud

@@ -23,6 +23,14 @@ void PerformanceMonitor::sample(sim::SimTime now) {
   const double dt = cfg_.sample_interval_s;
   for (const auto& vm : hv_.vms()) {
     PerVm& s = state(vm->id());
+    if (blackout_all_ || blackout_.contains(vm->id())) {
+      // Dark: record nothing, and forget the counter baseline so the first
+      // post-blackout interval re-primes instead of emitting the cumulative
+      // delta of the whole dark period as one spike.
+      s.has_prev = false;
+      s.has_latest = false;
+      continue;
+    }
     const virt::CgroupStats& cur = vm->cgroup().stats();
     if (!s.has_prev) {
       s.prev = cur;
@@ -66,6 +74,16 @@ void PerformanceMonitor::sample(sim::SimTime now) {
     s.has_latest = true;
   }
 }
+
+void PerformanceMonitor::set_blackout(int vm_id, bool dark) {
+  if (dark) {
+    blackout_.insert(vm_id);
+  } else {
+    blackout_.erase(vm_id);
+  }
+}
+
+void PerformanceMonitor::set_blackout_all(bool dark) { blackout_all_ = dark; }
 
 const VmSample* PerformanceMonitor::latest(int vm_id) const {
   const auto it = vms_.find(vm_id);

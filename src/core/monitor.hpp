@@ -13,6 +13,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "core/config.hpp"
@@ -53,6 +54,18 @@ class PerformanceMonitor {
   [[nodiscard]] double observed_io_bps(int vm_id) const;
   [[nodiscard]] double observed_cpu_cores(int vm_id) const;
 
+  // --- Fault hooks (MonitorBlackout) ---
+  /// Drop every sample of one VM (no series appends, no latest) until
+  /// cleared. On recovery the next interval only re-primes the cumulative
+  /// baseline — otherwise the whole blackout's worth of counter deltas would
+  /// land in one sample as a spike.
+  void set_blackout(int vm_id, bool dark);
+  /// Darken (or clear) the whole host's monitor at once.
+  void set_blackout_all(bool dark);
+  [[nodiscard]] bool blacked_out(int vm_id) const {
+    return blackout_all_ || blackout_.contains(vm_id);
+  }
+
  private:
   struct PerVm {
     virt::CgroupStats prev;
@@ -75,6 +88,8 @@ class PerformanceMonitor {
   virt::Hypervisor& hv_;
   PerfCloudConfig cfg_;
   std::map<int, PerVm> vms_;
+  std::set<int> blackout_;     ///< Individually darkened VM ids.
+  bool blackout_all_ = false;  ///< Whole-host blackout.
   static const sim::TimeSeries kEmptySeries;
 };
 

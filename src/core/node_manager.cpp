@@ -116,8 +116,16 @@ void NodeManager::local_step(sim::SimTime now) {
     // suspect was not already identified within the memory horizon, so the
     // event stream marks identification *episodes*, not every interval of a
     // sustained one.
+    //
+    // Blackout guard: while a suspect's monitor is dark, its series carry
+    // only zero-fill — no new evidence — so it may KEEP an identification it
+    // already earned (the memory horizon decays it) but can never NEWLY
+    // cross the threshold. The identifier itself cannot tell "dark" from
+    // "idle"; the node manager can, because it owns the monitor.
     const auto record_identification = [&](std::map<int, sim::SimTime>& ids,
+                                           std::map<int, sim::SimTime>& first,
                                            const SuspectScore& s, const char* kind) {
+      first.try_emplace(s.vm_id, now);
       const auto [it, inserted] = ids.try_emplace(s.vm_id, now);
       const bool fresh = inserted || now - it->second > cfg_.identification_memory_s;
       it->second = now;
@@ -129,11 +137,15 @@ void NodeManager::local_step(sim::SimTime now) {
     };
     for (const SuspectScore& s : identifier_.score_incremental(io_sig, io_suspects)) {
       io_scores_.push_back(s);
-      if (s.antagonist) record_identification(io_identified_at_, s, "io_antagonist");
+      if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
+        record_identification(io_identified_at_, io_first_identified_, s, "io_antagonist");
+      }
     }
     for (const SuspectScore& s : identifier_.score_incremental(cpi_sig, cpu_suspects)) {
       cpu_scores_.push_back(s);
-      if (s.antagonist) record_identification(cpu_identified_at_, s, "cpu_antagonist");
+      if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
+        record_identification(cpu_identified_at_, cpu_first_identified_, s, "cpu_antagonist");
+      }
     }
   }
   if (sink_ != nullptr) sink_->bump_counter(sink_source_, "control_intervals");
@@ -161,10 +173,40 @@ void NodeManager::local_step(sim::SimTime now) {
   run_resource_control(Resource::kCpu, any_cpu_contended, cpu_antagonists, now);
 }
 
+void NodeManager::set_cap_command_loss(double drop_probability, std::uint64_t seed) {
+  cap_loss_active_ = true;
+  cap_loss_p_ = drop_probability;
+  cap_loss_rng_ = sim::Rng(seed);
+}
+
+void NodeManager::clear_cap_command_loss() {
+  cap_loss_active_ = false;
+  cap_loss_p_ = 0.0;
+}
+
+void NodeManager::forget_vm(int vm_id) {
+  io_controllers_.erase(vm_id);
+  cpu_controllers_.erase(vm_id);
+  io_identified_at_.erase(vm_id);
+  cpu_identified_at_.erase(vm_id);
+}
+
 void NodeManager::run_resource_control(Resource res, bool contended,
                                        const std::vector<int>& antagonists, sim::SimTime now) {
   auto& controllers = res == Resource::kIo ? io_controllers_ : cpu_controllers_;
   virt::Hypervisor& hv = cloud_.host(host_);
+
+  // CapCommandLoss fault: each actuation attempt may be silently eaten by
+  // the (simulated) lossy control channel. One RNG draw per attempt, from
+  // the fault's own stream — engine randomness is never touched.
+  const auto actuate = [&](auto&& fn) {
+    if (cap_loss_active_ && cap_loss_rng_.bernoulli(cap_loss_p_)) {
+      ++cap_commands_dropped_;
+      if (sink_ != nullptr) sink_->bump_counter(sink_source_, "cap_commands_dropped");
+      return;
+    }
+    fn();
+  };
 
   // Instantiate controllers for newly identified antagonists; the initial
   // cap equals the VM's currently observed usage (Eq. 1 initialization).
@@ -197,17 +239,17 @@ void NodeManager::run_resource_control(Resource res, bool contended,
 
     if (ctrl.lifted()) {
       if (res == Resource::kIo) {
-        hv.clear_blkio_throttle(vm_id);
+        actuate([&] { hv.clear_blkio_throttle(vm_id); });
       } else {
-        hv.clear_vcpu_quota(vm_id);
+        actuate([&] { hv.clear_vcpu_quota(vm_id); });
       }
       it = controllers.erase(it);
       continue;
     }
     if (res == Resource::kIo) {
-      hv.set_blkio_throttle(vm_id, ctrl.cap_absolute());
+      actuate([&] { hv.set_blkio_throttle(vm_id, ctrl.cap_absolute()); });
     } else {
-      hv.set_vcpu_quota(vm_id, ctrl.cap_absolute());
+      actuate([&] { hv.set_vcpu_quota(vm_id, ctrl.cap_absolute()); });
     }
     ++it;
   }

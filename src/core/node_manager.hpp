@@ -21,6 +21,7 @@
 #include "core/identifier.hpp"
 #include "core/monitor.hpp"
 #include "sim/emit.hpp"
+#include "sim/rng.hpp"
 
 namespace perfcloud::core {
 
@@ -71,6 +72,35 @@ class NodeManager {
   /// formatting and file output.
   void attach_sink(sim::EmitSink& sink, const std::vector<std::string>& app_ids);
 
+  // --- Fault hooks ---
+  /// CapCommandLoss: while active, every actuation (set/clear CPU quota or
+  /// blkio throttle) is silently dropped with probability `drop_probability`.
+  /// The drop decisions come from a dedicated RNG seeded here — never from
+  /// the engine's stream — and are drawn only per actuation attempt, so they
+  /// are identical across shard counts. Dropped *clears* leave a stale cap
+  /// in place until the controller's next interval, exactly the failure mode
+  /// the CUBIC loop must re-converge through.
+  void set_cap_command_loss(double drop_probability, std::uint64_t seed);
+  void clear_cap_command_loss();
+  [[nodiscard]] long cap_commands_dropped() const { return cap_commands_dropped_; }
+
+  /// HostCrash cleanup: drop all controller and identification state of a VM
+  /// that no longer exists (actuating on a dead VM id would throw). Cap
+  /// history is kept — it is plot data, not control state.
+  void forget_vm(int vm_id);
+
+  [[nodiscard]] const std::string& host_name() const { return host_; }
+
+  /// First time each suspect was ever identified (per resource) — detection/
+  /// identification-latency scoring for the chaos experiments. Unlike the
+  /// rolling identification memory, these never update after the first cross.
+  [[nodiscard]] const std::map<int, sim::SimTime>& io_first_identified() const {
+    return io_first_identified_;
+  }
+  [[nodiscard]] const std::map<int, sim::SimTime>& cpu_first_identified() const {
+    return cpu_first_identified_;
+  }
+
   // --- Introspection for tests and figure benches ---
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
   /// Deviation-signal series of one high-priority application on this host.
@@ -117,6 +147,14 @@ class NodeManager {
   // Most recent time each suspect's correlation crossed the threshold.
   std::map<int, sim::SimTime> io_identified_at_;
   std::map<int, sim::SimTime> cpu_identified_at_;
+  // First time it ever crossed (insert-only; chaos-experiment scoring).
+  std::map<int, sim::SimTime> io_first_identified_;
+  std::map<int, sim::SimTime> cpu_first_identified_;
+  // CapCommandLoss fault state (see set_cap_command_loss).
+  bool cap_loss_active_ = false;
+  double cap_loss_p_ = 0.0;
+  sim::Rng cap_loss_rng_{0};
+  long cap_commands_dropped_ = 0;
   // Cap history persists after a controller retires (Fig 10 plots it).
   std::map<int, sim::TimeSeries> io_cap_history_;
   std::map<int, sim::TimeSeries> cpu_cap_history_;

@@ -1,0 +1,50 @@
+// Chaos-experiment scoring: how well did PerfCloud's detection and
+// identification hold up, and what did the faults cost the jobs?
+//
+// Companion to the faults subsystem: run the same scenario with and without
+// a FaultPlan, score each run with chaos_report, and compare. "Truth" is the
+// experiment's knowledge of which VM ids really are antagonists — the
+// simulator knows what the production system never does, which is exactly
+// why precision/recall are measurable here.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/config.hpp"
+#include "exp/cluster.hpp"
+#include "exp/summary.hpp"
+#include "sim/types.hpp"
+
+namespace perfcloud::exp {
+
+struct ChaosReport {
+  /// Seconds from `since` until any host's deviation signal (io or cpi) of
+  /// the cluster's app first crossed its threshold; < 0 = never detected.
+  double detection_latency_s = -1.0;
+  /// Seconds from `since` until the first TRUE antagonist was identified;
+  /// < 0 = never.
+  double identification_latency_s = -1.0;
+  /// |identified ∩ true| / |identified|; 1.0 when nothing was identified
+  /// (no accusations = no false accusations).
+  double precision = 1.0;
+  /// |identified ∩ true| / |true|; 1.0 when there are no true antagonists.
+  double recall = 1.0;
+  /// Every VM id identified (first-identification at/after `since`), both
+  /// resources, all hosts, sorted ascending.
+  std::vector<int> identified;
+  RunSummary summary;  ///< Job-level outcome (JCTs, re-execution waste).
+};
+
+/// Score the cluster's PerfCloud state. `true_antagonists` are the VM ids
+/// the experiment actually booted as antagonists; `since` restricts scoring
+/// to detections/identifications at or after that time (0 = whole run).
+/// Requires enable_perfcloud to have run.
+[[nodiscard]] ChaosReport chaos_report(Cluster& cluster, const core::PerfCloudConfig& cfg,
+                                       const std::vector<int>& true_antagonists,
+                                       sim::SimTime since = sim::SimTime(0.0));
+
+/// Human-readable multi-line dump.
+void print(std::ostream& os, const ChaosReport& r);
+
+}  // namespace perfcloud::exp

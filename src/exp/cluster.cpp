@@ -72,6 +72,15 @@ void attach_sink(Cluster& cluster, EventSink& sink) {
   }
 }
 
+void attach_faults(Cluster& cluster, faults::FaultInjector& injector, EventSink* sink) {
+  injector.set_framework(cluster.framework.get());
+  for (const auto& nm : cluster.node_managers) {
+    injector.register_node_manager(*nm);
+  }
+  if (sink != nullptr) injector.set_emit_sink(sink);
+  injector.arm();
+}
+
 namespace {
 virt::Vm& boot_low_priority(Cluster& c, const std::string& host, const std::string& name,
                             int vcpus) {

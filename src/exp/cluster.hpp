@@ -11,6 +11,7 @@
 #include "cloud/cloud_manager.hpp"
 #include "core/node_manager.hpp"
 #include "exp/event_sink.hpp"
+#include "faults/fault_injector.hpp"
 #include "sim/engine.hpp"
 #include "workloads/antagonists.hpp"
 #include "workloads/framework.hpp"
@@ -75,6 +76,15 @@ void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool c
 /// deviation-signal columns and control events for the cluster's app. Call
 /// after enable_perfcloud; the sink must outlive the cluster's runs.
 void attach_sink(Cluster& cluster, EventSink& sink);
+
+/// Wire a fault injector into the cluster and arm its plan: the framework
+/// becomes the HostCrash/TaskFailure target, every node manager registers
+/// for MonitorBlackout/CapCommandLoss, and (when `sink` is non-null) fault
+/// records flow through it as a "faults" event source. Call after
+/// enable_perfcloud (and after attach_sink when emitting); the injector must
+/// outlive the cluster's runs. Arms exactly once — an empty plan is a pure
+/// no-op.
+void attach_faults(Cluster& cluster, faults::FaultInjector& injector, EventSink* sink = nullptr);
 
 // --- Antagonist VM helpers: boot a low-priority VM running the given tool
 //     on the chosen host; return its VM id. ---

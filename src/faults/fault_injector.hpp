@@ -1,0 +1,104 @@
+// FaultInjector: executes a FaultPlan against a running simulation.
+//
+// The injector registers one-shot engine events for every spec's inject and
+// recover times. Engine events run on the engine thread between quanta —
+// after the periodics due at that timestamp, before the next quantum — so
+// every fault lands at a deterministic point in the schedule regardless of
+// shard count, mirroring how escalation/migration are fenced behind the
+// shard barrier. Nothing here ever runs inside a shard task, and nothing
+// here ever touches the engine's RNG: cap-loss randomness derives from the
+// plan's own seed, so arming a plan (even a non-empty one) leaves every
+// pre-existing random stream byte-identical.
+//
+// A fault whose target cannot be resolved when it fires (unknown host, VM
+// already gone, no node manager registered for the host) is marked failed
+// and counted — the run continues; chaos schedules routinely outlive their
+// targets.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_manager.hpp"
+#include "core/node_manager.hpp"
+#include "faults/fault_plan.hpp"
+#include "sim/emit.hpp"
+#include "workloads/framework.hpp"
+
+namespace perfcloud::faults {
+
+class FaultInjector {
+ public:
+  /// The plan is copied; the injector owns its execution state.
+  FaultInjector(cloud::CloudManager& cloud, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Framework whose workers HostCrash kills/rebinds and whose task-failure
+  /// rate the TaskFailure kind drives. Optional — without it those two kinds
+  /// fail when they fire. Call before arm().
+  void set_framework(wl::ScaleOutFramework* framework) { framework_ = framework; }
+
+  /// Register a host's node manager (MonitorBlackout and CapCommandLoss act
+  /// through it; HostCrash drops its dead-VM controller state). Keyed by
+  /// NodeManager::host_name(). Call before arm().
+  void register_node_manager(core::NodeManager& nm);
+
+  /// Route fault/recovery records through `sink` as first-class events under
+  /// one "faults" source: "inject <label>" / "recover <label>" rows (value =
+  /// magnitude) plus faults_injected / faults_recovered / faults_failed
+  /// counters. Call during setup; nullptr detaches.
+  void set_emit_sink(sim::EmitSink* sink);
+
+  /// Schedule every spec's inject/recover against the cloud's engine. Call
+  /// exactly once, during setup (all inject times must still be in the
+  /// future). An empty plan arms to nothing — a pure no-op.
+  void arm();
+
+  // --- Counters (also mirrored into the sink) ---
+  [[nodiscard]] int injected() const { return injected_; }
+  [[nodiscard]] int recovered() const { return recovered_; }
+  [[nodiscard]] int failed() const { return failed_; }
+  /// Specs not yet fired (scheduled but still in the future).
+  [[nodiscard]] int pending() const;
+  /// Specs injected and not yet recovered (including never-recovering ones).
+  [[nodiscard]] int active() const;
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+ private:
+  enum class Phase { kPending, kActive, kDone, kFailed };
+
+  void apply(std::size_t index);
+  void revert(std::size_t index);
+
+  void apply_host_crash(const FaultSpec& spec);
+  void apply_vm_stall(const FaultSpec& spec, bool paused);
+  void apply_disk_degrade(const FaultSpec& spec, double factor);
+  void apply_monitor_blackout(const FaultSpec& spec, bool dark);
+  void apply_cap_command_loss(const FaultSpec& spec, std::size_t index, bool active);
+  void apply_task_failure(const FaultSpec& spec, double rate);
+
+  [[nodiscard]] core::NodeManager& node_manager(const std::string& host);
+  /// Per-spec seed for kinds that need randomness, derived from the plan
+  /// seed and the spec index only — never from the engine.
+  [[nodiscard]] std::uint64_t spec_seed(std::size_t index) const;
+  void emit(const std::string& kind, const FaultSpec& spec, double value);
+
+  cloud::CloudManager& cloud_;
+  FaultPlan plan_;
+  wl::ScaleOutFramework* framework_ = nullptr;
+  std::map<std::string, core::NodeManager*> node_managers_;
+  sim::EmitSink* sink_ = nullptr;
+  sim::EmitSink::SourceId sink_source_ = 0;
+  std::vector<Phase> phases_;
+  bool armed_ = false;
+  int injected_ = 0;
+  int recovered_ = 0;
+  int failed_ = 0;
+};
+
+}  // namespace perfcloud::faults

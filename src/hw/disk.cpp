@@ -2,18 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "hw/allocation.hpp"
 
 namespace perfcloud::hw {
+
+void BlockDevice::set_throughput_degradation(double factor) {
+  if (!(factor > 0.0 && factor <= 1.0)) {
+    throw std::invalid_argument("disk degradation factor must be in (0, 1]");
+  }
+  degradation_ = factor;
+}
 
 std::vector<DiskGrant> BlockDevice::serve(double dt, std::span<const TenantDemand> demands) {
   const std::size_t n = demands.size();
   std::vector<DiskGrant> grants(n);
   if (n == 0 || dt <= 0.0) return grants;
 
-  const double t_op = 1.0 / cfg_.iops_capacity;  // seek/queue cost per op
-  const double inv_bw = 1.0 / cfg_.bw_capacity;  // transfer cost per byte
+  const double t_op = 1.0 / (cfg_.iops_capacity * degradation_);  // seek/queue cost per op
+  const double inv_bw = 1.0 / (cfg_.bw_capacity * degradation_);  // transfer cost per byte
 
   // Advance per-slot AR(1) jitter state (stationary standard normal).
   if (jitter_z_.size() < n) jitter_z_.resize(n, 0.0);

@@ -71,6 +71,13 @@ class BlockDevice {
 
   [[nodiscard]] const DiskConfig& config() const { return cfg_; }
 
+  /// Fault hook (DiskDegrade): serve at `factor` times the healthy
+  /// throughput — both the IOPS and the bandwidth ceiling scale, so every
+  /// op's seek and transfer cost grow by 1/factor. 1.0 restores full health.
+  /// Throws std::invalid_argument unless 0 < factor <= 1.
+  void set_throughput_degradation(double factor);
+  [[nodiscard]] double throughput_degradation() const { return degradation_; }
+
   /// Serve one tick of demand. Per-tenant throttle caps are applied first
   /// (scaling ops and bytes together), then device time (seek + transfer
   /// cost) is allocated by weighted fair sharing. Tenant order must be
@@ -86,6 +93,7 @@ class BlockDevice {
   sim::Rng rng_;
   std::vector<double> jitter_z_;  ///< Per-slot standard-normal AR(1) state.
   double last_utilization_ = 0.0;
+  double degradation_ = 1.0;  ///< Fault-injected throughput multiplier.
 };
 
 }  // namespace perfcloud::hw

@@ -43,6 +43,10 @@ class Server {
                                                    std::span<const TenantDemand> demands);
 
   [[nodiscard]] double last_disk_utilization() const { return disk_.last_utilization(); }
+
+  /// Fault hook (DiskDegrade): forwarded to the block device. 1.0 = healthy.
+  void set_disk_degradation(double factor) { disk_.set_throughput_degradation(factor); }
+  [[nodiscard]] double disk_degradation() const { return disk_.throughput_degradation(); }
   /// Max over sockets: the most-contended memory domain's utilization.
   [[nodiscard]] double last_bw_utilization() const;
 

@@ -57,14 +57,20 @@ class Vm {
   [[nodiscard]] GuestWorkload* guest() { return guest_.get(); }
   [[nodiscard]] const GuestWorkload* guest() const { return guest_.get(); }
   [[nodiscard]] bool idle(sim::SimTime now) const {
-    return guest_ == nullptr || guest_->finished(now);
+    return paused_ || guest_ == nullptr || guest_->finished(now);
   }
+
+  /// Fault hook (VmStall): a paused VM presents no demand and receives no
+  /// grants — its guest's progress freezes until the pause is lifted.
+  void set_paused(bool paused) { paused_ = paused; }
+  [[nodiscard]] bool paused() const { return paused_; }
 
  private:
   VmConfig cfg_;
   Cgroup cgroup_;
   std::unique_ptr<GuestWorkload> guest_;
   int numa_node_ = 0;
+  bool paused_ = false;
 };
 
 }  // namespace perfcloud::virt

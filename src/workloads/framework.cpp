@@ -14,8 +14,57 @@ ScaleOutWorker& ScaleOutFramework::add_worker(virt::Vm& vm, std::string host_nam
   auto worker = std::make_unique<ScaleOutWorker>(vm.vcpus());
   ScaleOutWorker* raw = worker.get();
   vm.attach(std::move(worker));
-  workers_.push_back(WorkerRef{&vm, raw, std::move(host_name)});
+  workers_.push_back(WorkerRef{&vm, raw, std::move(host_name), vm.id()});
   return *raw;
+}
+
+void ScaleOutFramework::on_worker_vms_lost(const std::vector<int>& vm_ids, sim::SimTime now) {
+  for (WorkerRef& w : workers_) {
+    if (w.dead() || std::find(vm_ids.begin(), vm_ids.end(), w.vm_id) == vm_ids.end()) continue;
+    const auto widx = static_cast<int>(&w - workers_.data());
+    // Kill the attempts while the old worker object is still alive; the
+    // tasks become schedulable again and re-run elsewhere.
+    for (const auto& j : jobs_) {
+      if (j->finished()) continue;
+      for (std::size_t s = 0; s < j->stage_count(); ++s) {
+        for (TaskState& t : j->stage(s)) {
+          for (AttemptRecord& a : t.attempts) {
+            if (a.running && a.worker_index == widx) {
+              kill_attempt(a, now);
+              ++crash_lost_attempts_;
+            }
+          }
+        }
+      }
+    }
+    w.vm = nullptr;
+    w.worker = nullptr;
+  }
+}
+
+bool ScaleOutFramework::has_worker_vm(int vm_id) const {
+  return std::any_of(workers_.begin(), workers_.end(),
+                     [vm_id](const WorkerRef& w) { return w.vm_id == vm_id; });
+}
+
+ScaleOutWorker& ScaleOutFramework::rebind_worker(int old_vm_id, virt::Vm& vm,
+                                                 std::string host_name) {
+  for (WorkerRef& w : workers_) {
+    if (w.vm_id != old_vm_id) continue;
+    if (!w.dead()) {
+      throw std::logic_error("rebind_worker: worker vm " + std::to_string(old_vm_id) +
+                             " is still alive");
+    }
+    auto worker = std::make_unique<ScaleOutWorker>(vm.vcpus());
+    ScaleOutWorker* raw = worker.get();
+    vm.attach(std::move(worker));
+    w.vm = &vm;
+    w.worker = raw;
+    w.host = std::move(host_name);
+    w.vm_id = vm.id();
+    return *raw;
+  }
+  throw std::invalid_argument("rebind_worker: no worker had vm id " + std::to_string(old_vm_id));
 }
 
 void ScaleOutFramework::start(double period) {
@@ -188,7 +237,9 @@ void ScaleOutFramework::settle_clone_groups(sim::SimTime now) {
 
 int ScaleOutFramework::total_free_slots() const {
   int n = 0;
-  for (const WorkerRef& w : workers_) n += w.worker->free_slots();
+  for (const WorkerRef& w : workers_) {
+    if (!w.dead()) n += w.worker->free_slots();
+  }
   return n;
 }
 
@@ -202,6 +253,7 @@ int ScaleOutFramework::pick_least_loaded_worker() const {
   const std::size_t n = workers_.size();
   for (std::size_t k = 0; k < n; ++k) {
     const std::size_t i = (placement_cursor_ + k) % n;
+    if (workers_[i].dead()) continue;
     const int f = workers_[i].worker->free_slots();
     if (f > best_free) {
       best_free = f;
@@ -228,7 +280,7 @@ void ScaleOutFramework::launch_attempt(Job& job, std::size_t stage, std::size_t 
     if (!host.empty()) {
       std::size_t colocated = 0;
       for (const WorkerRef& w : workers_) {
-        if (w.host == host) ++colocated;
+        if (!w.dead() && w.host == host) ++colocated;
       }
       const double local = static_cast<double>(colocated - 1) /
                            static_cast<double>(workers_.size() - 1);

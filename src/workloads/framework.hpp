@@ -68,10 +68,33 @@ class ScaleOutFramework {
   /// rate (per attempt-second). Failed attempts are reaped like killed ones
   /// (their runtime counts as waste) and the task becomes schedulable
   /// again — the retry loop every real framework has.
+  ///
+  /// This is the primitive actuator behind the faults subsystem's
+  /// TaskFailure kind: a kTaskFailure spec injected at t=0 that never
+  /// recovers is exactly this knob, and the FaultInjector drives the rate
+  /// through this setter on inject/recover.
   void set_task_failure_rate(double per_second) { failure_rate_ = per_second; }
   [[nodiscard]] double task_failure_rate() const { return failure_rate_; }
   /// Total attempts that were failed by injection so far.
   [[nodiscard]] int failed_attempts() const { return failed_attempts_; }
+
+  // --- Fault hooks (HostCrash) ---
+  /// The given worker VMs are about to die with their host: kill every
+  /// attempt running on them (the task becomes schedulable again — lost
+  /// work is re-executed, as real frameworks do on node loss) and mark the
+  /// workers dead so scheduling skips them. MUST be called while the VMs
+  /// still exist — removing an attempt touches the old worker object.
+  void on_worker_vms_lost(const std::vector<int>& vm_ids, sim::SimTime now);
+  /// A replacement VM has been booted for a crashed worker: attach a fresh
+  /// ScaleOutWorker guest to it and take over the dead worker's slot in the
+  /// roster (same worker index, new VM id and host). Throws if `old_vm_id`
+  /// does not name a dead worker.
+  ScaleOutWorker& rebind_worker(int old_vm_id, virt::Vm& vm, std::string host_name);
+  /// Attempts killed by host crashes so far (distinct from failed_attempts).
+  [[nodiscard]] int crash_lost_attempts() const { return crash_lost_attempts_; }
+  /// Whether `vm_id` names one of this framework's workers (alive or dead) —
+  /// lets the fault injector tell worker victims from bystander VMs.
+  [[nodiscard]] bool has_worker_vm(int vm_id) const;
 
   JobId submit(const JobSpec& spec);
   /// Dolly: submit `clones` identical copies as one clone group; the first
@@ -103,9 +126,11 @@ class ScaleOutFramework {
 
  private:
   struct WorkerRef {
-    virt::Vm* vm;
-    ScaleOutWorker* worker;
+    virt::Vm* vm;             ///< nullptr while dead (host crashed).
+    ScaleOutWorker* worker;   ///< nullptr while dead.
     std::string host;
+    int vm_id = -1;           ///< Stable key for rebinding after a crash.
+    [[nodiscard]] bool dead() const { return worker == nullptr; }
   };
 
   void reap(sim::SimTime now);
@@ -132,6 +157,7 @@ class ScaleOutFramework {
   double failure_rate_ = 0.0;
   double poll_period_ = 1.0;
   int failed_attempts_ = 0;
+  int crash_lost_attempts_ = 0;
   mutable std::size_t placement_cursor_ = 0;
 };
 
