@@ -1,0 +1,28 @@
+// Hardware context for the BENCH_*.json writers: core count plus the
+// scheduler environment the numbers were produced under. A 1-core CI run of
+// any sharding bench measures pure overhead, not scaling — recording the
+// context in the artifact makes that caveat machine-readable instead of a
+// footnote a reader has to remember.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace perfcloud::bench {
+
+/// One JSON object: `{"hardware_threads": N, "env_PERFCLOUD_SHARDS": "4",
+/// "env_PERFCLOUD_SCHED": null}`. Env fields are the raw variables (null
+/// when unset); garbage values never reach this point because Engine
+/// construction rejects them first.
+inline std::string hw_context_json() {
+  const auto env_or_null = [](const char* name) -> std::string {
+    const char* v = std::getenv(name);
+    return v != nullptr ? "\"" + std::string(v) + "\"" : std::string("null");
+  };
+  return "{\"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency()) +
+         ", \"env_PERFCLOUD_SHARDS\": " + env_or_null("PERFCLOUD_SHARDS") +
+         ", \"env_PERFCLOUD_SCHED\": " + env_or_null("PERFCLOUD_SCHED") + "}";
+}
+
+}  // namespace perfcloud::bench

@@ -30,6 +30,7 @@
 #include "exp/event_sink.hpp"
 #include "exp/report.hpp"
 #include "exp/summary.hpp"
+#include "hw_context.hpp"
 #include "workloads/mix.hpp"
 
 using namespace perfcloud;
@@ -254,6 +255,7 @@ int main() {
   std::ofstream json("BENCH_emit.json");
   json << "{\n"
        << "  \"topology\": {\"hosts\": 8, \"workers\": 48, \"jobs\": " << kJobs << "},\n"
+       << "  \"hw_context\": " << bench::hw_context_json() << ",\n"
        << "  \"samples\": " << sync.samples << ",\n"
        << "  \"events\": " << sync.events << ",\n"
        << "  \"batches\": " << sync.batches << ",\n"

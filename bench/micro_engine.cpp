@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/identifier.hpp"
+#include "hw_context.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/time_series.hpp"
@@ -303,6 +304,7 @@ int main() {
 
   std::ofstream json("BENCH_engine.json");
   json << "{\n"
+       << "  \"hw_context\": " << bench::hw_context_json() << ",\n"
        << "  \"event_churn\": {\n"
        << "    \"periodics\": " << kPeriodics << ",\n"
        << "    \"pending_events\": " << kPendingEvents << ",\n"

@@ -20,6 +20,7 @@
 
 #include "common.hpp"
 #include "exp/report.hpp"
+#include "hw_context.hpp"
 #include "workloads/mix.hpp"
 
 using namespace perfcloud;
@@ -160,7 +161,7 @@ int main() {
   std::ofstream json("BENCH_shard.json");
   json << "{\n"
        << "  \"topology\": {\"hosts\": 15, \"workers\": 150, \"jobs\": " << kJobs << "},\n"
-       << "  \"hardware_threads\": " << std::thread::hardware_concurrency() << ",\n"
+       << "  \"hw_context\": " << bench::hw_context_json() << ",\n"
        << "  \"runs\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     json << "    {\"shards\": " << shard_counts[i] << ", \"wall_s\": " << results[i].wall_s

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full check: the test suite under ASan+UBSan, the same suite under TSan
-# with the host shard sweeps actually parallel (PERFCLOUD_SHARDS=4), and a
-# shard-count determinism gate diffing a real figure bench's output.
+# with the host shard sweeps actually parallel (PERFCLOUD_SHARDS=4, both
+# claim disciplines), and determinism gates diffing real bench output
+# across shard counts, schedulers, and emission modes.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -21,19 +22,29 @@ echo "== TSan, sharded (PERFCLOUD_SHARDS=4) =="
 # sanitizer sweeps as everything else.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
+# Default schedule is work-stealing, so this sweep runs the cost-sorted
+# CAS-claim path (growing chunks, EWMA rebalance) under TSan everywhere.
 PERFCLOUD_SHARDS=4 ctest --preset tsan -j "$(nproc)" "$@"
+# And the static claim discipline, via the scheduler/fast-path tests
+# (label "perf") which also drive full multi-host scenarios.
+PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ctest --preset tsan -L perf -j "$(nproc)"
 
-echo "== shard determinism gate =="
+echo "== shard + scheduler determinism gate =="
 # A multi-host figure bench must emit byte-identical stdout for any shard
-# count; wall-clock time is the only thing sharding is allowed to change.
+# count AND either claim discipline; wall-clock time is the only thing the
+# scheduler is allowed to change.
 cmake --preset release
 cmake --build --preset release -j "$(nproc)" --target ext_heterogeneous
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT
 PERFCLOUD_SHARDS=1 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards1.txt" 2> /dev/null
-PERFCLOUD_SHARDS=4 ./build-release/bench/ext_heterogeneous > "$tmpdir/shards4.txt" 2> /dev/null
-diff "$tmpdir/shards1.txt" "$tmpdir/shards4.txt"
-echo "ext_heterogeneous: byte-identical output for 1 vs 4 shards"
+for variant in "4 ws" "1 static" "4 static"; do
+  read -r n sched <<< "$variant"
+  PERFCLOUD_SHARDS=$n PERFCLOUD_SCHED=$sched \
+    ./build-release/bench/ext_heterogeneous > "$tmpdir/shards$n-$sched.txt" 2> /dev/null
+  diff "$tmpdir/shards1.txt" "$tmpdir/shards$n-$sched.txt"
+done
+echo "ext_heterogeneous: byte-identical output across shard counts and schedulers"
 
 echo "== sync-vs-async emission gate =="
 # micro_emit runs one PerfCloud scenario three times (no sink, sync sink,
@@ -55,7 +66,7 @@ echo "== fault-plan determinism gate =="
 # Faults may only change what the simulation does, never whether it is
 # deterministic.
 cmake --build --preset release -j "$(nproc)" --target chaos_resilience
-for mode in s1-async s4-async s1-sync; do
+for mode in s1-async s4-async s1-sync s4-static-async; do
   mkdir -p "$tmpdir/chaos-$mode"
 done
 PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
@@ -64,8 +75,13 @@ PERFCLOUD_SHARDS=4 ./build-release/examples/chaos_resilience \
   "$tmpdir/chaos-s4-async" async > "$tmpdir/chaos-s4-async/stdout.txt"
 PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
   "$tmpdir/chaos-s1-sync" sync > "$tmpdir/chaos-s1-sync/stdout.txt"
+# The static claim discipline under a full chaos plan: scheduler choice
+# must be invisible even when hosts crash mid-run.
+PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ./build-release/examples/chaos_resilience \
+  "$tmpdir/chaos-s4-static-async" async > "$tmpdir/chaos-s4-static-async/stdout.txt"
 for f in stdout.txt chaos_trace.csv chaos_events.jsonl; do
   diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s4-async/$f"
   diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s1-sync/$f"
+  diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s4-static-async/$f"
 done
-echo "chaos_resilience: byte-identical for 1 vs 4 shards and sync vs async emission"
+echo "chaos_resilience: byte-identical across shard counts, schedulers, and emission modes"

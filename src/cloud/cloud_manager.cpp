@@ -52,6 +52,7 @@ virt::Vm& CloudManager::boot_vm(const std::string& host_name, virt::VmConfig cfg
   cfg.id = next_vm_id_++;
   virt::Vm& vm = h->hypervisor->boot(cfg);
   registry_.push_back(VmRecord{vm.id(), vm.name(), host_name, vm.priority(), vm.app_id()});
+  ++registry_version_;
   return vm;
 }
 
@@ -73,6 +74,7 @@ void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
   const Host* src = find_host(record->host);
   dst->hypervisor->adopt(src->hypervisor->evict(vm_id));
   record->host = dst_host;
+  ++registry_version_;
   if (sink_ != nullptr) {
     sink_->emit_event(sink_source_, engine_.now(),
                       "migrate vm=" + std::to_string(vm_id) + " dst=" + dst_host, 1.0);
@@ -100,6 +102,7 @@ std::vector<virt::VmConfig> CloudManager::crash_host(const std::string& name) {
     victim.reset();
   }
   std::erase_if(registry_, [&](const VmRecord& r) { return r.host == name; });
+  ++registry_version_;
   h->up = false;
 
   if (sink_ != nullptr) {
@@ -115,6 +118,7 @@ void CloudManager::restore_host(const std::string& name) {
   if (h == nullptr) throw std::invalid_argument("unknown host " + name);
   if (h->up) throw std::invalid_argument("host " + name + " is already up");
   h->up = true;
+  ++registry_version_;
   if (sink_ != nullptr) {
     sink_->emit_event(sink_source_, engine_.now(), "host_restore host=" + name, 1.0);
     sink_->bump_counter(sink_source_, "host_restores");

@@ -6,6 +6,7 @@
 // managers stay aware of placement changes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -75,6 +76,11 @@ class CloudManager {
   int resolve_high_priority_collision(const std::string& host_name);
 
   // --- Nova-like queries (what the node manager fetches, §III-D.2) ---
+  /// Bumped on every registry mutation (boot, migration, crash, restore).
+  /// Node managers cache per-host registry summaries against it so the
+  /// quiescent fast path skips the linear vms_on_host scan between
+  /// placement changes.
+  [[nodiscard]] std::uint64_t registry_version() const { return registry_version_; }
   [[nodiscard]] std::vector<VmRecord> vms_on_host(const std::string& host_name) const;
   /// All registered VMs across the cloud.
   [[nodiscard]] std::vector<VmRecord> all_vms() const;
@@ -123,6 +129,7 @@ class CloudManager {
   sim::EmitSink::SourceId sink_source_ = 0;
   std::vector<Host> hosts_;
   std::vector<VmRecord> registry_;
+  std::uint64_t registry_version_ = 1;
   int next_vm_id_ = 1;
   double tick_dt_ = 0.0;
   sim::ShardedPeriodic* pipeline_sweep_ = nullptr;

@@ -21,6 +21,12 @@ PerformanceMonitor::PerVm& PerformanceMonitor::state(int vm_id) {
 
 void PerformanceMonitor::sample(sim::SimTime now) {
   const double dt = cfg_.sample_interval_s;
+  // Settledness for the fast path: every VM primed and every delta zero.
+  // Recorded against the hypervisor's activity epoch BEFORE the counter
+  // reads — if activity lands mid-sample the recorded epoch is stale and
+  // can_fast_sample stays false, which is the safe direction.
+  bool all_settled = !blackout_all_ && blackout_.empty();
+  const std::uint64_t epoch = hv_.activity_epoch();
   for (const auto& vm : hv_.vms()) {
     PerVm& s = state(vm->id());
     if (blackout_all_ || blackout_.contains(vm->id())) {
@@ -35,6 +41,7 @@ void PerformanceMonitor::sample(sim::SimTime now) {
     if (!s.has_prev) {
       s.prev = cur;
       s.has_prev = true;
+      all_settled = false;
       continue;
     }
     const double d_wait_ms = cur.io_wait_time_ms - s.prev.io_wait_time_ms;
@@ -45,6 +52,8 @@ void PerformanceMonitor::sample(sim::SimTime now) {
     const double d_misses = cur.llc_misses - s.prev.llc_misses;
     const double d_cpu = cur.cpu_time_s - s.prev.cpu_time_s;
     s.prev = cur;
+    all_settled = all_settled && d_wait_ms == 0.0 && d_ops == 0.0 && d_bytes == 0.0 &&
+                  d_cycles == 0.0 && d_instr == 0.0 && d_misses == 0.0 && d_cpu == 0.0;
 
     // The first EWMA update of a metric is the raw sample — one noisy
     // interval would masquerade as a trend. Deviations are only meaningful
@@ -73,6 +82,29 @@ void PerformanceMonitor::sample(sim::SimTime now) {
     s.latest = sample;
     s.has_latest = true;
   }
+  settled_ = all_settled;
+  settled_epoch_ = epoch;
+}
+
+bool PerformanceMonitor::can_fast_sample() const {
+  return settled_ && settled_epoch_ == hv_.activity_epoch() && !blackout_all_ &&
+         blackout_.empty();
+}
+
+void PerformanceMonitor::record_settled(sim::SimTime now) {
+  for (const auto& vm : hv_.vms()) {
+    PerVm& s = state(vm->id());
+    // Exactly what the zero-delta branch of sample() records: the gated
+    // metrics (iowait, CPI, LLC) skip, the always-on smoothers decay on a
+    // zero sample, and the throughput series gains one point.
+    VmSample sample;
+    sample.io_throughput_bps = s.io_bps.update(0.0);
+    sample.io_ops_per_s = 0.0;
+    sample.cpu_usage_cores = s.cpu_cores.update(0.0);
+    s.io_series.add(now, sample.io_throughput_bps);
+    s.latest = sample;
+    s.has_latest = true;
+  }
 }
 
 void PerformanceMonitor::set_blackout(int vm_id, bool dark) {
@@ -81,9 +113,13 @@ void PerformanceMonitor::set_blackout(int vm_id, bool dark) {
   } else {
     blackout_.erase(vm_id);
   }
+  settled_ = false;
 }
 
-void PerformanceMonitor::set_blackout_all(bool dark) { blackout_all_ = dark; }
+void PerformanceMonitor::set_blackout_all(bool dark) {
+  blackout_all_ = dark;
+  settled_ = false;
+}
 
 const VmSample* PerformanceMonitor::latest(int vm_id) const {
   const auto it = vms_.find(vm_id);

@@ -11,6 +11,7 @@
 //     used to initialize resource caps.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -41,6 +42,21 @@ class PerformanceMonitor {
   /// Take one sample of every resident VM at time `now`. Call exactly once
   /// per interval, after the host's arbitration tick.
   void sample(sim::SimTime now);
+
+  // --- Idle-host fast path ---
+  /// True when the last full sample saw every resident VM fully settled —
+  /// counter baseline primed, all interval deltas zero, no blackout — and no
+  /// hypervisor activity has happened since. While this holds (and the host
+  /// stays quiescent), cgroup counters cannot change, so `record_settled`
+  /// reproduces the next full sample without reading a single counter.
+  [[nodiscard]] bool can_fast_sample() const;
+  /// The fast-path equivalent of `sample(now)`, valid only while
+  /// can_fast_sample(): replays exactly the appends and EWMA decays a full
+  /// sample performs on a settled host (zero deltas feed the throughput and
+  /// CPU smoothers, one io_series point per VM; the gated metrics — iowait,
+  /// CPI, LLC — record nothing, as they would with zero deltas). Series
+  /// stay byte-identical to the slow path.
+  void record_settled(sim::SimTime now);
 
   /// Latest sample of a VM; nullptr before the first sample.
   [[nodiscard]] const VmSample* latest(int vm_id) const;
@@ -90,6 +106,8 @@ class PerformanceMonitor {
   std::map<int, PerVm> vms_;
   std::set<int> blackout_;     ///< Individually darkened VM ids.
   bool blackout_all_ = false;  ///< Whole-host blackout.
+  bool settled_ = false;       ///< Last full sample saw only settled VMs.
+  std::uint64_t settled_epoch_ = 0;  ///< hv activity epoch at that sample.
   static const sim::TimeSeries kEmptySeries;
 };
 

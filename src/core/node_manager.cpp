@@ -14,8 +14,9 @@ constexpr double kMinCpuBaselineCores = 0.2;
 NodeManager::NodeManager(cloud::CloudManager& cloud, std::string host_name, PerfCloudConfig cfg)
     : cloud_(cloud),
       host_(std::move(host_name)),
+      hv_(cloud.host(host_)),
       cfg_(cfg),
-      monitor_(cloud.host(host_), cfg),
+      monitor_(hv_, cfg),
       detector_(cfg),
       identifier_(cfg) {}
 
@@ -54,7 +55,42 @@ void NodeManager::run_pending_escalation(sim::SimTime now) {
   cloud_.resolve_high_priority_collision(host_);
 }
 
+bool NodeManager::try_quiescent_step(sim::SimTime now) {
+  if (!virt::idle_fastpath_enabled()) return false;
+  // Live controllers still step (and actuate) every interval even without
+  // contention — the cubic recovery must run to completion.
+  if (!io_controllers_.empty() || !cpu_controllers_.empty()) return false;
+  if (!hv_.is_quiescent(now) || !monitor_.can_fast_sample()) return false;
+  // A host carrying a protected application appends a deviation-signal
+  // sample (and possibly sink columns) every interval even when idle, so it
+  // must run the full pipeline. The registry summary is cached: between
+  // placement changes this check is one integer compare, not a scan.
+  if (cached_registry_version_ != cloud_.registry_version()) {
+    cached_registry_version_ = cloud_.registry_version();
+    cached_protected_apps_ = false;
+    for (const cloud::VmRecord& r : cloud_.vms_on_host(host_)) {
+      if (r.priority == virt::Priority::kHigh && !r.app_id.empty()) {
+        cached_protected_apps_ = true;
+        break;
+      }
+    }
+  }
+  if (cached_protected_apps_) return false;
+
+  // Replay exactly what the full pipeline does on a quiescent, app-free
+  // host: settled monitor samples, cleared scores, no escalation, and the
+  // interval counter. Detection, identification, and control all reduce to
+  // no-ops with no apps and no controllers.
+  monitor_.record_settled(now);
+  escalation_pending_ = false;
+  io_scores_.clear();
+  cpu_scores_.clear();
+  if (sink_ != nullptr) sink_->bump_counter(sink_source_, "control_intervals");
+  return true;
+}
+
 void NodeManager::local_step(sim::SimTime now) {
+  if (try_quiescent_step(now)) return;
   monitor_.sample(now);
 
   // Fetch the current VM registry for this host (Nova API in the paper):
@@ -194,7 +230,7 @@ void NodeManager::forget_vm(int vm_id) {
 void NodeManager::run_resource_control(Resource res, bool contended,
                                        const std::vector<int>& antagonists, sim::SimTime now) {
   auto& controllers = res == Resource::kIo ? io_controllers_ : cpu_controllers_;
-  virt::Hypervisor& hv = cloud_.host(host_);
+  virt::Hypervisor& hv = hv_;
 
   // CapCommandLoss fault: each actuation attempt may be silently eaten by
   // the (simulated) lossy control channel. One RNG draw per attempt, from

@@ -48,6 +48,12 @@ class NodeManager {
   /// read-only cloud-registry queries — so the shard sweep runs all hosts'
   /// local steps in parallel. A detected high-priority application collision
   /// is only *recorded* here (escalation migrates VMs across hosts).
+  ///
+  /// Quiescent hosts take an O(1) early-out (try_quiescent_step) that is
+  /// state-identical to the full pipeline: the monitor records the same
+  /// settled samples, the same counters bump, and — with no protected apps,
+  /// no suspects with signal, and no live controllers — detection,
+  /// identification, and control would all have been no-ops.
   void local_step(sim::SimTime now);
 
   /// The cross-host half: if local_step flagged an application collision,
@@ -117,6 +123,13 @@ class NodeManager {
  private:
   enum class Resource { kIo, kCpu };
 
+  /// The idle-host fast path: true when this interval was handled without
+  /// touching the registry, the detector, or the controllers. Valid only
+  /// when the hypervisor is quiescent, the monitor's settled state is
+  /// current, no high-priority application resides here (cached against the
+  /// cloud registry version), and no cap controller is live.
+  bool try_quiescent_step(sim::SimTime now);
+
   void run_resource_control(Resource res, bool contended, const std::vector<int>& antagonists,
                             sim::SimTime now);
   [[nodiscard]] sim::TimeSeries& signal(std::map<std::string, sim::TimeSeries>& store,
@@ -129,6 +142,10 @@ class NodeManager {
 
   cloud::CloudManager& cloud_;
   std::string host_;
+  /// This host's hypervisor, resolved once (it outlives crashes: the object
+  /// survives, only its VMs die) so the per-interval fast path skips the
+  /// cloud manager's name lookup.
+  virt::Hypervisor& hv_;
   PerfCloudConfig cfg_;
   sim::EmitSink* sink_ = nullptr;
   sim::EmitSink::SourceId sink_source_ = 0;
@@ -160,6 +177,10 @@ class NodeManager {
   std::map<int, sim::TimeSeries> cpu_cap_history_;
   std::vector<SuspectScore> io_scores_;
   std::vector<SuspectScore> cpu_scores_;
+  // Cached "does this host carry a protected app" registry summary, keyed
+  // to the cloud registry version (see try_quiescent_step).
+  std::uint64_t cached_registry_version_ = 0;
+  bool cached_protected_apps_ = true;
   static const sim::TimeSeries kEmptySeries;
 };
 

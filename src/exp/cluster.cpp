@@ -20,6 +20,7 @@ Cluster make_cluster(const ClusterParams& params) {
   c.params = params;
   c.engine = std::make_unique<sim::Engine>(params.seed);
   if (params.shards > 0) c.engine->set_shards(params.shards);
+  if (params.schedule.has_value()) c.engine->set_schedule(*params.schedule);
   c.cloud = std::make_unique<cloud::CloudManager>(*c.engine);
 
   for (int h = 0; h < params.hosts; ++h) {
@@ -37,7 +38,13 @@ Cluster make_cluster(const ClusterParams& params) {
   virt::VmConfig shape;
   shape.vcpus = params.vm_vcpus;
   shape.priority = virt::Priority::kHigh;
-  c.worker_vm_ids = cloud::place_spread(*c.cloud, c.hosts, params.workers, shape, params.app_id);
+  std::vector<std::string> worker_hosts = c.hosts;
+  if (params.worker_host_limit > 0 &&
+      static_cast<std::size_t>(params.worker_host_limit) < worker_hosts.size()) {
+    worker_hosts.resize(static_cast<std::size_t>(params.worker_host_limit));
+  }
+  c.worker_vm_ids =
+      cloud::place_spread(*c.cloud, worker_hosts, params.workers, shape, params.app_id);
 
   c.framework = std::make_unique<wl::ScaleOutFramework>(*c.engine, params.app_id);
   for (const cloud::VmRecord& r : c.cloud->all_vms()) {

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,6 +33,15 @@ struct ClusterParams {
   /// reads PERFCLOUD_SHARDS (1 when unset). Results are byte-identical for
   /// any value; >1 only buys wall-clock time on multi-host clusters.
   unsigned shards = 0;
+  /// Claim discipline for the shard sweeps. Unset keeps the engine's
+  /// default (PERFCLOUD_SCHED, work-stealing when unset). Like `shards`,
+  /// results are byte-identical either way.
+  std::optional<sim::ShardSchedule> schedule;
+  /// When > 0, workers are spread over only the first `worker_host_limit`
+  /// hosts, leaving the rest empty — the deliberately skewed clusters of
+  /// bench/micro_balance (one hot shard-task, many quiescent hosts).
+  /// 0 spreads over every host.
+  int worker_host_limit = 0;
   double tick_dt = 0.1;          ///< Arbitration tick.
   double sched_period = 1.0;     ///< Framework scheduling period.
   std::string app_id = "hadoop";

@@ -1,24 +1,67 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
 namespace perfcloud::sim {
 
-Engine::Engine(std::uint64_t seed) : shards_(shards_from_env()), rng_(seed) {}
+namespace {
+
+/// Shard counts above this are certainly a typo, not a machine.
+constexpr unsigned kMaxShards = 4096;
+
+/// EWMA weight of the latest runtime measurement in a task's cost estimate.
+constexpr double kCostAlpha = 0.25;
+
+}  // namespace
+
+Engine::Engine(std::uint64_t seed)
+    : shards_(shards_from_env()), schedule_(schedule_from_env()), rng_(seed) {}
 
 unsigned Engine::shards_from_env() {
-  if (const char* env = std::getenv("PERFCLOUD_SHARDS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
+  const char* env = std::getenv("PERFCLOUD_SHARDS");
+  if (env == nullptr) return 1;
+  const std::string s(env);
+  bool digits_only = !s.empty();
+  for (const char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) digits_only = false;
   }
-  return 1;
+  // Reject garbage ("abc", "4x", "-2", "0", "") loudly: a typo silently
+  // falling back to sequential execution is exactly the failure mode that
+  // hides in CI for months.
+  const long v = digits_only ? std::strtol(env, nullptr, 10) : 0;
+  if (!digits_only || v < 1 || v > static_cast<long>(kMaxShards)) {
+    throw std::invalid_argument("PERFCLOUD_SHARDS='" + s +
+                                "' is not a valid shard count (expected an integer in [1, " +
+                                std::to_string(kMaxShards) + "])");
+  }
+  return static_cast<unsigned>(v);
+}
+
+ShardSchedule Engine::schedule_from_env() {
+  const char* env = std::getenv("PERFCLOUD_SCHED");
+  if (env == nullptr) return ShardSchedule::kWorkStealing;
+  const std::string s(env);
+  if (s == "static") return ShardSchedule::kStatic;
+  if (s == "ws" || s == "work-stealing" || s == "work_stealing") {
+    return ShardSchedule::kWorkStealing;
+  }
+  throw std::invalid_argument("PERFCLOUD_SCHED='" + s +
+                              "' is not a valid schedule (expected 'static' or 'ws')");
 }
 
 void Engine::set_shards(unsigned shards) {
-  if (shards < 1) throw std::invalid_argument("Engine::set_shards: shards must be >= 1");
+  if (shards < 1 || shards > kMaxShards) {
+    throw std::invalid_argument("Engine::set_shards: " + std::to_string(shards) +
+                                " is not a valid shard count (expected an integer in [1, " +
+                                std::to_string(kMaxShards) + "])");
+  }
   if (pool_ != nullptr) {
     throw std::logic_error("Engine::set_shards: shard pool already running");
   }
@@ -54,7 +97,7 @@ ShardedPeriodic& Engine::every_sharded(double period, SimTime start) {
   ShardedPeriodic* sp = sharded_.back().get();
   every(period,
         [this, sp](SimTime now) {
-          run_shard_tasks(sp->tasks_, now);
+          run_shard_tasks(*sp, now);
           if (sp->barrier_) sp->barrier_(now);
           for (const PeriodicFn& hook : post_barrier_hooks_) hook(now);
         },
@@ -62,13 +105,63 @@ ShardedPeriodic& Engine::every_sharded(double period, SimTime start) {
   return *sp;
 }
 
-void Engine::run_shard_tasks(const std::vector<ShardedPeriodic::Fn>& tasks, SimTime now) {
+void Engine::run_shard_tasks(ShardedPeriodic& sp, SimTime now) {
+  const std::vector<ShardedPeriodic::Fn>& tasks = sp.tasks_;
   if (shards_ <= 1 || tasks.size() <= 1) {
     for (const ShardedPeriodic::Fn& task : tasks) task(now);
     return;
   }
   if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(shards_);
-  pool_->run(tasks.size(), [&](std::size_t i) { tasks[i](now); });
+  const std::size_t n = tasks.size();
+
+  if (schedule_ == ShardSchedule::kStatic) {
+    pool_->run(n, [&](std::size_t i) { tasks[i](now); }, ShardSchedule::kStatic);
+    return;
+  }
+
+  // Grow the cost model for tasks registered since the last firing. New
+  // tasks start at +inf cost so the next rebalance claims them first and
+  // their first measurement replaces the sentinel outright.
+  const bool grew = sp.cost_ns_.size() < n;
+  while (sp.cost_ns_.size() < n) {
+    sp.order_.push_back(static_cast<std::uint32_t>(sp.cost_ns_.size()));
+    sp.cost_ns_.push_back(std::numeric_limits<double>::infinity());
+    sp.last_cost_ns_.push_back(0.0);
+  }
+
+  // Rebalance only at deterministic epochs (and when the task set grew), on
+  // the engine thread. The costs feeding the sort are wall-clock and thus
+  // nondeterministic — safe because claim order cannot affect any output,
+  // only wall-clock time (see ShardSchedule's determinism contract).
+  if (grew || sp.firings_ % ShardedPeriodic::kRebalancePeriod == 0) {
+    std::stable_sort(sp.order_.begin(), sp.order_.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       if (sp.cost_ns_[a] != sp.cost_ns_[b]) {
+                         return sp.cost_ns_[a] > sp.cost_ns_[b];
+                       }
+                       return a < b;
+                     });
+  }
+  ++sp.firings_;
+
+  pool_->run(
+      n,
+      [&](std::size_t i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        tasks[i](now);
+        const auto t1 = std::chrono::steady_clock::now();
+        // Disjoint slot per task; the pool's barrier handshake orders this
+        // write before the engine thread's reads below.
+        sp.last_cost_ns_[i] =
+            static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0).count());
+      },
+      ShardSchedule::kWorkStealing, &sp.order_);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const double last = sp.last_cost_ns_[i];
+    double& cost = sp.cost_ns_[i];
+    cost = std::isinf(cost) ? last : kCostAlpha * last + (1.0 - kCostAlpha) * cost;
+  }
 }
 
 void Engine::fire_due_periodics(SimTime t) {

@@ -17,14 +17,21 @@ namespace perfcloud::sim {
 /// plus an optional sequential cross-host phase — the engine's sharded
 /// execution unit (one per host group, not one periodic per host).
 ///
-/// Each firing runs every task for the quantum, partitioned across the
-/// engine's shard pool, waits at the barrier, then runs the barrier function
-/// on the engine thread. Tasks fire in index order when the engine has one
-/// shard; with more shards they run concurrently, so each task must be
-/// thread-confined: it may touch only its own host's state and read-only
-/// shared data — never the engine (at/after/every/rng/stop), the registry it
-/// shares with sibling tasks, or another host. Cross-host mutation belongs
-/// in the barrier function, which runs alone.
+/// Each firing runs every task for the quantum across the engine's shard
+/// pool, waits at the barrier, then runs the barrier function on the engine
+/// thread. Tasks fire in index order when the engine has one shard; with
+/// more shards they run concurrently, so each task must be thread-confined:
+/// it may touch only its own host's state and read-only shared data — never
+/// the engine (at/after/every/rng/stop), the registry it shares with sibling
+/// tasks, or another host. Cross-host mutation belongs in the barrier
+/// function, which runs alone.
+///
+/// Under the work-stealing schedule the engine measures each task's runtime,
+/// folds it into a per-task EWMA, and re-sorts the claim order heavy-first
+/// at deterministic rebalance epochs (every kRebalancePeriod firings, on the
+/// engine thread). The measurements are wall-clock and therefore
+/// nondeterministic — which is safe precisely because claim order is not
+/// allowed to affect any output (see ShardSchedule).
 ///
 /// Tasks may be appended between firings (hosts registering during setup);
 /// appending from inside a task or barrier is not allowed.
@@ -40,6 +47,17 @@ class ShardedPeriodic {
   friend class Engine;
   std::vector<Fn> tasks_;
   Fn barrier_;
+  // Work-stealing scheduler state, maintained by the engine thread between
+  // pool runs. cost_ns_ is an EWMA of measured runtimes (new tasks start at
+  // +inf so the next rebalance schedules them first and measures them);
+  // last_cost_ns_ slots are written by whichever shard ran the task (the
+  // barrier handshake orders those writes before the engine thread reads);
+  // order_ is the heavy-first claim order.
+  static constexpr std::uint64_t kRebalancePeriod = 16;
+  std::vector<double> cost_ns_;
+  std::vector<double> last_cost_ns_;
+  std::vector<std::uint32_t> order_;
+  std::uint64_t firings_ = 0;
 };
 
 /// Owns the simulated clock and the event queue, and drives periodic
@@ -97,11 +115,21 @@ class Engine {
   void add_run_end_hook(PeriodicFn fn) { run_end_hooks_.push_back(std::move(fn)); }
 
   /// Worker threads for sharded periodics. Defaults to PERFCLOUD_SHARDS
-  /// (>= 1) or 1 when unset; results are byte-identical for any value.
+  /// (a decimal integer in [1, 4096]; anything else — "abc", "0", "-2" —
+  /// throws std::invalid_argument at construction rather than silently
+  /// falling back) or 1 when unset; results are byte-identical for any value.
   [[nodiscard]] unsigned shards() const { return shards_; }
-  /// Override the shard count. Throws std::invalid_argument on 0 and
-  /// std::logic_error once the pool exists (a sharded periodic has fired).
+  /// Override the shard count. Throws std::invalid_argument outside
+  /// [1, 4096] and std::logic_error once the pool exists (a sharded
+  /// periodic has fired).
   void set_shards(unsigned shards);
+
+  /// Claim discipline for sharded batches. Defaults to PERFCLOUD_SCHED
+  /// ("static", or "ws"/"work-stealing"/"work_stealing"; anything else
+  /// throws std::invalid_argument) or work-stealing when unset. Results are
+  /// byte-identical under either schedule; only wall-clock time differs.
+  [[nodiscard]] ShardSchedule schedule() const { return schedule_; }
+  void set_schedule(ShardSchedule schedule) { schedule_ = schedule; }
 
   /// Run until the queue drains or `t_end` is reached, whichever is first.
   /// Returns the final simulated time.
@@ -143,8 +171,12 @@ class Engine {
 
   /// Run a sharded group's tasks for the quantum ending at `now`: inline in
   /// index order with one shard, across the pool (created lazily) otherwise.
-  void run_shard_tasks(const std::vector<ShardedPeriodic::Fn>& tasks, SimTime now);
+  /// Under kWorkStealing this also maintains the group's cost model: tasks
+  /// are timed, costs folded into per-task EWMAs, and the claim order
+  /// re-sorted heavy-first at deterministic rebalance epochs.
+  void run_shard_tasks(ShardedPeriodic& sp, SimTime now);
   static unsigned shards_from_env();
+  static ShardSchedule schedule_from_env();
 
   SimTime now_{0.0};
   EventQueue queue_;
@@ -155,6 +187,7 @@ class Engine {
   std::vector<PeriodicFn> post_barrier_hooks_;
   std::vector<PeriodicFn> run_end_hooks_;
   unsigned shards_;
+  ShardSchedule schedule_;
   std::unique_ptr<ShardPool> pool_;
   Rng rng_;
   bool stopped_ = false;

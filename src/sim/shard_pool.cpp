@@ -1,8 +1,26 @@
 #include "sim/shard_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace perfcloud::sim {
+
+const char* to_string(ShardSchedule s) {
+  return s == ShardSchedule::kStatic ? "static" : "work-stealing";
+}
+
+namespace {
+
+/// Chunk size for a work-stealing claim starting at `pos` (claim-order
+/// position, not task index). The head of a cost-desc order holds the heavy
+/// tasks, so the first ~2*shards claims take one task each; the cheap tail
+/// is claimed in linearly growing chunks to keep CAS traffic low.
+std::size_t ws_chunk(std::size_t pos, unsigned shards) {
+  return std::clamp<std::size_t>(pos / (2 * static_cast<std::size_t>(shards)),
+                                 std::size_t{1}, std::size_t{64});
+}
+
+}  // namespace
 
 ShardPool::ShardPool(unsigned shards) {
   if (shards < 1) throw std::invalid_argument("ShardPool: shards must be >= 1");
@@ -21,58 +39,107 @@ ShardPool::~ShardPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ShardPool::run(std::size_t n, const std::function<void(std::size_t)>& body) {
+void ShardPool::run(std::size_t n, const std::function<void(std::size_t)>& body,
+                    ShardSchedule schedule, const std::vector<std::uint32_t>* order) {
   if (n == 0) return;
-  std::uint64_t gen;
+  if (n > 0xffffffffull) throw std::invalid_argument("ShardPool: batch too large");
+  if (order != nullptr && order->size() != n) {
+    throw std::invalid_argument("ShardPool: claim order must cover every task");
+  }
+  std::uint32_t gen;
   {
     std::lock_guard<std::mutex> lk(mu_);
     body_ = &body;
-    next_ = 0;
+    order_ = order;
     n_ = n;
-    remaining_ = n;
+    schedule_ = schedule;
+    error_ = nullptr;
     gen = ++generation_;
+    remaining_.store(n, std::memory_order_relaxed);
+    claim_.store(pack(gen, 0), std::memory_order_release);
   }
   cv_start_.notify_all();
   drain(gen);
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return remaining_ == 0; });
+    cv_done_.wait(lk, [&] { return remaining_.load(std::memory_order_acquire) == 0; });
     body_ = nullptr;
+    order_ = nullptr;
     error = error_;
     error_ = nullptr;
   }
   if (error) std::rethrow_exception(error);
 }
 
-void ShardPool::drain(std::uint64_t gen) {
+void ShardPool::drain(std::uint32_t gen) {
+  // Copy the batch parameters for `gen`. If the batch is already finished
+  // (or superseded), the claim loop below backs off before any of these are
+  // dereferenced, so a stale copy is safe.
+  const std::function<void(std::size_t)>* body;
+  const std::vector<std::uint32_t>* order;
+  std::size_t n;
+  ShardSchedule schedule;
+  unsigned shards;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    body = body_;
+    order = order_;
+    n = n_;
+    schedule = schedule_;
+    shards = this->shards();
+  }
+
+  // kStatic cuts the batch into `shards` contiguous blocks; a claim takes a
+  // whole block. kWorkStealing claims growing chunks (heavy head singly).
+  const std::size_t static_block = (n + shards - 1) / std::max(shards, 1u);
+
   for (;;) {
-    const std::function<void(std::size_t)>* body;
-    std::size_t i;
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (generation_ != gen || next_ >= n_) return;
-      i = next_++;
-      body = body_;
+    std::uint64_t cur = claim_.load(std::memory_order_acquire);
+    std::size_t pos = 0;
+    std::size_t count = 0;
+    for (;;) {
+      if (static_cast<std::uint32_t>(cur >> 32) != gen) return;  // superseded batch
+      pos = static_cast<std::size_t>(cur & 0xffffffffull);
+      if (pos >= n) return;  // batch fully claimed
+      const std::size_t chunk =
+          schedule == ShardSchedule::kStatic ? static_block : ws_chunk(pos, shards);
+      count = std::min(chunk, n - pos);
+      if (claim_.compare_exchange_weak(cur, pack(gen, static_cast<std::uint32_t>(pos + count)),
+                                       std::memory_order_acq_rel, std::memory_order_acquire)) {
+        break;
+      }
     }
+
     std::exception_ptr error;
-    try {
-      (*body)(i);
-    } catch (...) {
-      error = std::current_exception();
+    for (std::size_t k = pos; k < pos + count; ++k) {
+      const std::size_t index = order != nullptr ? (*order)[k] : k;
+      try {
+        (*body)(index);
+      } catch (...) {
+        // Keep executing: the barrier must complete so the engine thread can
+        // rethrow without leaving workers mid-batch.
+        if (!error) error = std::current_exception();
+      }
     }
-    {
+    if (error) {
       std::lock_guard<std::mutex> lk(mu_);
-      if (error && !error_) error_ = error;
-      if (generation_ == gen && --remaining_ == 0) cv_done_.notify_all();
+      if (!error_) error_ = error;
+    }
+    if (remaining_.fetch_sub(count, std::memory_order_acq_rel) == count) {
+      // Last chunk of the batch: wake the caller waiting at the barrier. The
+      // empty critical section pairs with the caller's predicate check under
+      // mu_ so the notification cannot be missed.
+      { std::lock_guard<std::mutex> lk(mu_); }
+      cv_done_.notify_all();
     }
   }
 }
 
 void ShardPool::worker_loop() {
-  std::uint64_t seen = 0;
+  std::uint32_t seen = 0;
   for (;;) {
-    std::uint64_t gen;
+    std::uint32_t gen;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] { return shutdown_ || generation_ != seen; });

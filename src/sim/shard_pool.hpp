@@ -8,12 +8,28 @@
 // members, per-host RNG streams) plus read-only shared data, never the
 // engine, the event queue, or another host.
 //
-// Determinism: which worker runs which task is scheduling-dependent, but
-// because tasks are confined to disjoint state and all cross-host logic runs
-// sequentially after the barrier, simulation results are byte-identical for
-// any shard count (pinned by ShardDeterminism tests).
+// Two claim disciplines:
+//  - kStatic: the batch is cut into `shards` contiguous blocks and each
+//    participant takes one whole block — the classic static partition. A
+//    single expensive task (a straggler-victim + antagonist host) serializes
+//    behind everything else in its block while the other shards idle at the
+//    barrier.
+//  - kWorkStealing: indices are claimed from one shared atomic cursor in
+//    growing chunks, following an optional caller-provided order (the engine
+//    passes a cost-sorted heavy-first order). Heavy tasks are claimed singly
+//    at the head; the cheap tail is claimed in chunks to keep cursor traffic
+//    low. A heavy task then occupies exactly one shard while every other
+//    shard drains the rest.
+//
+// Determinism: which worker runs which task — and in which order — is
+// scheduling-dependent under BOTH disciplines, but because tasks are
+// confined to disjoint state and all cross-host logic (barrier phase, sink
+// drain) runs sequentially after the barrier in (time, source-index) order,
+// simulation results are byte-identical for any shard count and either
+// schedule (pinned by the ShardDeterminism tests and scripts/check.sh).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -23,6 +39,13 @@
 #include <vector>
 
 namespace perfcloud::sim {
+
+/// Claim discipline for a sharded batch. kWorkStealing is the engine
+/// default; kStatic is kept as the measurable baseline (bench/micro_balance)
+/// and as a second schedule for the output-identity gates.
+enum class ShardSchedule { kStatic, kWorkStealing };
+
+[[nodiscard]] const char* to_string(ShardSchedule s);
 
 class ShardPool {
  public:
@@ -39,32 +62,51 @@ class ShardPool {
   }
 
   /// Run body(0..n-1) across the pool and wait for all of them (the
-  /// barrier). Workers claim indices dynamically, so uneven per-host costs
-  /// load-balance. If any task throws, the first exception captured is
-  /// rethrown here after the barrier.
-  void run(std::size_t n, const std::function<void(std::size_t)>& body);
+  /// barrier). `order`, when non-null, must be a permutation of [0, n) and
+  /// gives the claim order (the engine passes cost-desc); null claims in
+  /// index order. If any task throws, the remaining tasks still run, the
+  /// barrier completes, and the first exception captured is rethrown here.
+  void run(std::size_t n, const std::function<void(std::size_t)>& body,
+           ShardSchedule schedule = ShardSchedule::kWorkStealing,
+           const std::vector<std::uint32_t>* order = nullptr);
 
  private:
   void worker_loop();
-  /// Claim and execute tasks of generation `gen` until none remain.
-  void drain(std::uint64_t gen);
+  /// Claim and execute chunks of the generation-`gen` batch until none
+  /// remain (or the generation has been superseded — a straggler waking
+  /// late finds the claim word's generation advanced and backs off without
+  /// touching batch state).
+  void drain(std::uint32_t gen);
+
+  static std::uint64_t pack(std::uint32_t gen, std::uint32_t pos) {
+    return (static_cast<std::uint64_t>(gen) << 32) | pos;
+  }
 
   std::vector<std::thread> workers_;
 
   std::mutex mu_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  // All fields below are guarded by mu_. A generation identifies one `run`
-  // batch; workers never cross generations (drain re-checks under the lock
-  // before claiming each index), so a straggler waking late simply finds the
-  // batch exhausted.
-  std::uint64_t generation_ = 0;
+  // Batch parameters, guarded by mu_; workers copy them under the lock when
+  // they wake for a new generation. A stale copy is harmless: claims go
+  // through the generation-checked claim word below, so a straggler can
+  // never execute (or double-execute) work from a batch it did not claim.
+  std::uint32_t generation_ = 0;
   bool shutdown_ = false;
   const std::function<void(std::size_t)>* body_ = nullptr;
-  std::size_t next_ = 0;
+  const std::vector<std::uint32_t>* order_ = nullptr;
   std::size_t n_ = 0;
-  std::size_t remaining_ = 0;
-  std::exception_ptr error_;
+  ShardSchedule schedule_ = ShardSchedule::kWorkStealing;
+  std::exception_ptr error_;  // first failure of the running batch
+
+  // (generation << 32) | next-claim-index. The single CAS target every
+  // participant claims chunks from; the generation tag makes claims from a
+  // superseded batch fail instead of stealing the new batch's indices.
+  std::atomic<std::uint64_t> claim_{0};
+  // Tasks not yet completed in the current batch. The caller's barrier wait
+  // is `remaining_ == 0`; the participant whose chunk completion drops it to
+  // zero notifies cv_done_.
+  std::atomic<std::size_t> remaining_{0};
 };
 
 }  // namespace perfcloud::sim

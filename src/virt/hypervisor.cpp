@@ -1,11 +1,26 @@
 #include "virt/hypervisor.hpp"
 
+#include <atomic>
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <vector>
 #include <string>
 
 namespace perfcloud::virt {
+
+namespace {
+std::atomic<bool> g_idle_fastpath{std::getenv("PERFCLOUD_NO_IDLE_FASTPATH") == nullptr};
+}  // namespace
+
+bool idle_fastpath_enabled() { return g_idle_fastpath.load(std::memory_order_relaxed); }
+void set_idle_fastpath_enabled(bool enabled) {
+  g_idle_fastpath.store(enabled, std::memory_order_relaxed);
+}
+
+void notify_vm_activity(Hypervisor* hv) {
+  if (hv != nullptr) hv->note_activity();
+}
 
 Vm& Hypervisor::boot(VmConfig cfg) {
   if (find(cfg.id) != nullptr) {
@@ -14,7 +29,9 @@ Vm& Hypervisor::boot(VmConfig cfg) {
   const int requested = cfg.numa_node;
   vms_.push_back(std::make_unique<Vm>(std::move(cfg)));
   Vm& vm = *vms_.back();
+  vm.set_host(this);
   vm.set_numa_node(requested >= 0 ? requested : pick_numa_node(vm.vcpus()));
+  note_activity();
   return vm;
 }
 
@@ -39,6 +56,8 @@ std::unique_ptr<Vm> Hypervisor::evict(int vm_id) {
     if ((*it)->id() == vm_id) {
       std::unique_ptr<Vm> vm = std::move(*it);
       vms_.erase(it);
+      vm->set_host(nullptr);
+      note_activity();
       return vm;
     }
   }
@@ -50,6 +69,8 @@ Vm& Hypervisor::adopt(std::unique_ptr<Vm> vm) {
     throw std::invalid_argument("duplicate VM id " + std::to_string(vm->id()));
   }
   vms_.push_back(std::move(vm));
+  vms_.back()->set_host(this);
+  note_activity();
   return *vms_.back();
 }
 
@@ -74,7 +95,33 @@ const Vm& Hypervisor::require(int vm_id) const {
   return const_cast<Hypervisor*>(this)->require(vm_id);
 }
 
+bool Hypervisor::is_quiescent(sim::SimTime now) const {
+  if (quiescent_) return true;
+  if (server_.disk_degradation() != 1.0) return false;
+  for (const auto& vm : vms_) {
+    if (vm->paused()) return false;
+    const GuestWorkload* guest = vm->guest();
+    if (guest != nullptr && !guest->finished(now)) return false;
+    const Cgroup& cg = vm->cgroup();
+    if (cg.cpu_quota_cores() != hw::kNoCap || cg.blkio_throttle_bps() != hw::kNoCap ||
+        cg.blkio_throttle_iops() != hw::kNoCap) {
+      return false;
+    }
+  }
+  quiescent_ = true;
+  return true;
+}
+
+void Hypervisor::set_disk_degradation(double factor) {
+  server_.set_disk_degradation(factor);
+  note_activity();
+}
+
 void Hypervisor::tick(sim::SimTime now, double dt) {
+  // Idle-host fast path: a quiescent host has all-zero demand, so the whole
+  // arbitrate/account/apply round is a no-op — skip it.
+  if (idle_fastpath_enabled() && is_quiescent(now)) return;
+
   std::vector<hw::TenantDemand> demands;
   demands.reserve(vms_.size());
   for (const auto& vm : vms_) {
@@ -103,16 +150,22 @@ void Hypervisor::tick(sim::SimTime now, double dt) {
 
 void Hypervisor::set_vcpu_quota(int vm_id, double cores) {
   require(vm_id).cgroup().set_cpu_quota_cores(cores);
+  note_activity();
 }
 
-void Hypervisor::clear_vcpu_quota(int vm_id) { require(vm_id).cgroup().clear_cpu_quota(); }
+void Hypervisor::clear_vcpu_quota(int vm_id) {
+  require(vm_id).cgroup().clear_cpu_quota();
+  note_activity();
+}
 
 void Hypervisor::set_blkio_throttle(int vm_id, sim::Bytes bytes_per_sec) {
   require(vm_id).cgroup().set_blkio_throttle_bps(bytes_per_sec);
+  note_activity();
 }
 
 void Hypervisor::clear_blkio_throttle(int vm_id) {
   require(vm_id).cgroup().clear_blkio_throttle();
+  note_activity();
 }
 
 const CgroupStats& Hypervisor::dom_stats(int vm_id) const { return require(vm_id).cgroup().stats(); }

@@ -3,6 +3,7 @@
 // PerfCloud's node manager uses.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -11,6 +12,13 @@
 #include "virt/vm.hpp"
 
 namespace perfcloud::virt {
+
+/// Global kill switch for the idle-host fast paths (hypervisor tick
+/// early-out, node-manager quiescent step). On by default; off when the
+/// PERFCLOUD_NO_IDLE_FASTPATH environment variable is set. The override is
+/// process-wide — bench/micro_balance and the state-identity tests A/B it.
+[[nodiscard]] bool idle_fastpath_enabled();
+void set_idle_fastpath_enabled(bool enabled);
 
 /// Per-host KVM-like hypervisor.
 ///
@@ -43,8 +51,34 @@ class Hypervisor {
   [[nodiscard]] const Vm* find(int vm_id) const;
   [[nodiscard]] hw::Server& server() { return server_; }
 
-  /// Advance one arbitration tick ending at `now`.
+  /// Advance one arbitration tick ending at `now`. Quiescent hosts take an
+  /// O(1) early-out (see is_quiescent): with no demand anywhere, arbitration
+  /// grants nothing and accounts nothing, so skipping it is state-identical
+  /// on an empty host and unobservable on a host of finished guests (the
+  /// disk's idle jitter stream freezes, but jitter only surfaces through
+  /// served I/O, which quiescence rules out).
   void tick(sim::SimTime now, double dt);
+
+  // --- Quiescence (idle-host fast path) ---
+  /// True when nothing on this host can change simulation state during a
+  /// tick: every resident VM is unpaused with no guest (or a finished one)
+  /// and carries no cgroup cap, and the disk is not degraded by a fault.
+  /// O(1) when the answer was true last time and no activity intervened
+  /// (guest completion is monotone, so quiescence can only end through an
+  /// explicit activity event); O(#vms) otherwise.
+  [[nodiscard]] bool is_quiescent(sim::SimTime now) const;
+  /// Counter bumped by every event that can end quiescence — boot, adopt,
+  /// evict, guest attach/detach, pause/unpause, cap set/clear, disk
+  /// degradation. Monitors key their cached "settled" state to it.
+  [[nodiscard]] std::uint64_t activity_epoch() const { return activity_epoch_; }
+  void note_activity() {
+    ++activity_epoch_;
+    quiescent_ = false;
+  }
+
+  /// Fault hook (DiskDegrade), routed through the hypervisor so quiescence
+  /// tracking sees it. 1.0 restores full throughput.
+  void set_disk_degradation(double factor);
 
   // --- libvirt-style API used by the node manager ---
   /// Apply a CPU hard cap (vcpu_quota) in cores. Throws if the VM is unknown.
@@ -63,6 +97,11 @@ class Hypervisor {
 
   hw::Server server_;
   std::vector<std::unique_ptr<Vm>> vms_;
+  std::uint64_t activity_epoch_ = 1;
+  /// Cached "is_quiescent returned true"; cleared by note_activity. Only a
+  /// true answer is cached — false must be recomputed because guests finish
+  /// without notifying anyone.
+  mutable bool quiescent_ = false;
 };
 
 }  // namespace perfcloud::virt

@@ -203,11 +203,13 @@ TEST(Engine, ShardedPeriodicKeepsRegistrationOrderWithPlainPeriodics) {
 }
 
 TEST(Engine, ShardedPeriodicParallelMatchesSequential) {
-  const auto run = [](unsigned shards) {
+  const auto run = [](unsigned shards, ShardSchedule schedule) {
     Engine e;
     e.set_shards(shards);
+    e.set_schedule(schedule);
     // One result slot per task: tasks write disjoint elements, so the
-    // parallel sweep is race-free and comparable bit-for-bit.
+    // parallel sweep is race-free and comparable bit-for-bit. Long enough
+    // to cross the work-stealing rebalance epochs.
     std::vector<double> slots(16, 0.0);
     ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
     for (std::size_t i = 0; i < slots.size(); ++i) {
@@ -215,10 +217,32 @@ TEST(Engine, ShardedPeriodicParallelMatchesSequential) {
         slots[i] += t.seconds() * static_cast<double>(i + 1);
       });
     }
-    e.run_until(SimTime(5.5));
+    e.run_until(SimTime(40.5));
     return slots;
   };
-  EXPECT_EQ(run(1), run(4));
+  const std::vector<double> sequential = run(1, ShardSchedule::kWorkStealing);
+  EXPECT_EQ(sequential, run(4, ShardSchedule::kWorkStealing));
+  EXPECT_EQ(sequential, run(4, ShardSchedule::kStatic));
+}
+
+TEST(Engine, TasksAddedBetweenFiringsJoinTheWorkStealingOrder) {
+  for (const unsigned shards : {1u, 4u}) {
+    Engine e;
+    e.set_shards(shards);
+    e.set_schedule(ShardSchedule::kWorkStealing);
+    std::vector<double> slots(8, 0.0);
+    ShardedPeriodic& sp = e.every_sharded(1.0, SimTime(1.0));
+    for (std::size_t i = 0; i < 4; ++i) {
+      sp.add_task([&slots, i](SimTime t) { slots[i] += t.seconds(); });
+    }
+    e.run_until(SimTime(3.5));  // 3 firings with 4 tasks
+    for (std::size_t i = 4; i < 8; ++i) {
+      sp.add_task([&slots, i](SimTime t) { slots[i] += t.seconds(); });
+    }
+    e.run_until(SimTime(6.5));  // 3 more with 8
+    for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(slots[i], 1.0 + 2.0 + 3.0 + 4.0 + 5.0 + 6.0);
+    for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(slots[i], 4.0 + 5.0 + 6.0);
+  }
 }
 
 TEST(Engine, SetShardsZeroThrows) {

@@ -1,0 +1,110 @@
+// Strict environment parsing for the shard scheduler: garbage values of
+// PERFCLOUD_SHARDS / PERFCLOUD_SCHED must fail loudly at Engine
+// construction, never fall back silently (a typo degrading a CI run to
+// sequential execution is exactly the failure mode that hides for months).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+/// Sets (or unsets) one environment variable for the test's scope and
+/// restores the previous value on destruction — the TSan suite runs these
+/// binaries with PERFCLOUD_SHARDS already exported.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(SchedulerEnv, UnsetShardsDefaultsToOne) {
+  ScopedEnv env("PERFCLOUD_SHARDS", nullptr);
+  EXPECT_EQ(Engine().shards(), 1u);
+}
+
+TEST(SchedulerEnv, ValidShardsParses) {
+  ScopedEnv env("PERFCLOUD_SHARDS", "8");
+  EXPECT_EQ(Engine().shards(), 8u);
+}
+
+TEST(SchedulerEnv, GarbageShardsThrows) {
+  for (const char* bad : {"abc", "0", "-2", "4x", "", " 4", "1e3", "4096000"}) {
+    ScopedEnv env("PERFCLOUD_SHARDS", bad);
+    EXPECT_THROW(Engine{}, std::invalid_argument) << "PERFCLOUD_SHARDS='" << bad << "'";
+  }
+}
+
+TEST(SchedulerEnv, GarbageShardsErrorNamesTheVariable) {
+  ScopedEnv env("PERFCLOUD_SHARDS", "abc");
+  try {
+    Engine e;
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& err) {
+    EXPECT_NE(std::string(err.what()).find("PERFCLOUD_SHARDS"), std::string::npos);
+    EXPECT_NE(std::string(err.what()).find("abc"), std::string::npos);
+  }
+}
+
+TEST(SchedulerEnv, UnsetScheduleDefaultsToWorkStealing) {
+  ScopedEnv env("PERFCLOUD_SCHED", nullptr);
+  EXPECT_EQ(Engine().schedule(), ShardSchedule::kWorkStealing);
+}
+
+TEST(SchedulerEnv, ScheduleSpellingsParse) {
+  for (const char* ws : {"ws", "work-stealing", "work_stealing"}) {
+    ScopedEnv env("PERFCLOUD_SCHED", ws);
+    EXPECT_EQ(Engine().schedule(), ShardSchedule::kWorkStealing) << ws;
+  }
+  ScopedEnv env("PERFCLOUD_SCHED", "static");
+  EXPECT_EQ(Engine().schedule(), ShardSchedule::kStatic);
+}
+
+TEST(SchedulerEnv, GarbageScheduleThrows) {
+  for (const char* bad : {"Static", "dynamic", "", "ws "}) {
+    ScopedEnv env("PERFCLOUD_SCHED", bad);
+    EXPECT_THROW(Engine{}, std::invalid_argument) << "PERFCLOUD_SCHED='" << bad << "'";
+  }
+}
+
+TEST(SchedulerEnv, SetShardsRejectsOutOfRange) {
+  ScopedEnv env("PERFCLOUD_SHARDS", nullptr);
+  Engine e;
+  EXPECT_THROW(e.set_shards(0), std::invalid_argument);
+  EXPECT_THROW(e.set_shards(5000), std::invalid_argument);
+  e.set_shards(4096);  // the documented ceiling itself is accepted
+  EXPECT_EQ(e.shards(), 4096u);
+}
+
+TEST(SchedulerEnv, SetScheduleOverridesEnvDefault) {
+  ScopedEnv env("PERFCLOUD_SCHED", "static");
+  Engine e;
+  EXPECT_EQ(e.schedule(), ShardSchedule::kStatic);
+  e.set_schedule(ShardSchedule::kWorkStealing);
+  EXPECT_EQ(e.schedule(), ShardSchedule::kWorkStealing);
+}
+
+}  // namespace
+}  // namespace perfcloud::sim
