@@ -9,20 +9,29 @@
 #include <string>
 #include <thread>
 
+#include "sim/alloc_gauge.hpp"
+
 namespace perfcloud::bench {
 
 /// One JSON object: `{"hardware_threads": N, "env_PERFCLOUD_SHARDS": "4",
-/// "env_PERFCLOUD_SCHED": null}`. Env fields are the raw variables (null
-/// when unset); garbage values never reach this point because Engine
-/// construction rejects them first.
+/// "env_PERFCLOUD_SCHED": null, "alloc_hook_linked": true, "allocs": N,
+/// "alloc_bytes": N}`. Env fields are the raw variables (null when unset);
+/// garbage values never reach this point because Engine construction rejects
+/// them first. The allocation counters are process-cumulative at emission
+/// time — in binaries without the counting hook they read zero and
+/// alloc_hook_linked says so.
 inline std::string hw_context_json() {
   const auto env_or_null = [](const char* name) -> std::string {
     const char* v = std::getenv(name);
     return v != nullptr ? "\"" + std::string(v) + "\"" : std::string("null");
   };
+  const sim::AllocGaugeSnapshot mem = sim::alloc_gauge_read();
   return "{\"hardware_threads\": " + std::to_string(std::thread::hardware_concurrency()) +
          ", \"env_PERFCLOUD_SHARDS\": " + env_or_null("PERFCLOUD_SHARDS") +
-         ", \"env_PERFCLOUD_SCHED\": " + env_or_null("PERFCLOUD_SCHED") + "}";
+         ", \"env_PERFCLOUD_SCHED\": " + env_or_null("PERFCLOUD_SCHED") +
+         ", \"alloc_hook_linked\": " + (sim::alloc_gauge_linked() ? "true" : "false") +
+         ", \"allocs\": " + std::to_string(mem.allocs) +
+         ", \"alloc_bytes\": " + std::to_string(mem.bytes) + "}";
 }
 
 }  // namespace perfcloud::bench

@@ -266,7 +266,7 @@ std::pair<double, double> run_identifier_ticks(bool use_incremental) {
 
     const double t0 = now_seconds();
     const std::vector<core::SuspectScore> scores =
-        use_incremental ? ident.score_incremental(victim, sig) : ident.score(victim, sig);
+        use_incremental ? ident.score_incremental(0, victim, sig) : ident.score(victim, sig);
     elapsed += now_seconds() - t0;
     for (const core::SuspectScore& s : scores) checksum += s.correlation;
   }

@@ -130,7 +130,7 @@ void BM_PearsonIdentificationIncremental(benchmark::State& state) {
     victim.add(sim::SimTime(tick * 5.0), rng.uniform());
     for (auto& s : suspects) s.add(sim::SimTime(tick * 5.0), rng.uniform());
     ++tick;
-    benchmark::DoNotOptimize(ident.score_incremental(victim, sig));
+    benchmark::DoNotOptimize(ident.score_incremental(0, victim, sig));
   }
 }
 BENCHMARK(BM_PearsonIdentificationIncremental)->Arg(1)->Arg(4)->Arg(16)->Arg(64);

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
-# Full check: the test suite under ASan+UBSan, the same suite under TSan
-# with the host shard sweeps actually parallel (PERFCLOUD_SHARDS=4, both
-# claim disciplines), and determinism gates diffing real bench output
-# across shard counts, schedulers, and emission modes.
+# Full check: the test suite under ASan+UBSan (plus sharded perf-label
+# sweeps), the same suite under TSan with the host shard sweeps actually
+# parallel (PERFCLOUD_SHARDS=4, both claim disciplines), the
+# zero-steady-state-allocation gate on the release build, and determinism
+# gates diffing real bench output across shard counts, schedulers, and
+# emission modes.
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -12,6 +14,13 @@ echo "== ASan + UBSan =="
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)"
 UBSAN_OPTIONS=halt_on_error=1 ctest --preset asan -j "$(nproc)" "$@"
+# The perf-label tests again, sharded, under both claim disciplines: the
+# slot-store/arena hot path and the identifier's key-based pair state run
+# their multi-host scenarios with ASan watching for stale-slot reads after
+# VM eviction and host crashes.
+UBSAN_OPTIONS=halt_on_error=1 PERFCLOUD_SHARDS=4 ctest --preset asan -L perf -j "$(nproc)"
+UBSAN_OPTIONS=halt_on_error=1 PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static \
+  ctest --preset asan -L perf -j "$(nproc)"
 
 echo "== TSan, sharded (PERFCLOUD_SHARDS=4) =="
 # Every sharded periodic in every test runs its host-local tasks across 4
@@ -45,6 +54,15 @@ for variant in "4 ws" "1 static" "4 static"; do
   diff "$tmpdir/shards1.txt" "$tmpdir/shards$n-$sched.txt"
 done
 echo "ext_heterogeneous: byte-identical output across shard counts and schedulers"
+
+echo "== zero-steady-state-allocation gate =="
+# The release build (no sanitizer allocator inflating counts) runs the
+# AllocGate suite: a warmed control quantum — monitor, detect, identify,
+# bookkeeping — must perform zero heap allocations, and the suite
+# self-checks that the counting operator-new hook is linked and counting
+# before trusting any zero.
+cmake --build --preset release -j "$(nproc)" --target pc_perf_tests
+./build-release/tests/pc_perf_tests --gtest_filter='AllocGate.*'
 
 echo "== sync-vs-async emission gate =="
 # micro_emit runs one PerfCloud scenario three times (no sink, sync sink,

@@ -51,7 +51,9 @@ virt::Vm& CloudManager::boot_vm(const std::string& host_name, virt::VmConfig cfg
   if (!h->up) throw std::invalid_argument("host " + host_name + " is down");
   cfg.id = next_vm_id_++;
   virt::Vm& vm = h->hypervisor->boot(cfg);
-  registry_.push_back(VmRecord{vm.id(), vm.name(), host_name, vm.priority(), vm.app_id()});
+  const sim::Interner::Id app =
+      vm.app_id().empty() ? sim::Interner::kInvalid : app_interner_.intern(vm.app_id());
+  registry_.push_back(VmRecord{vm.id(), vm.name(), host_name, vm.priority(), vm.app_id(), app});
   ++registry_version_;
   return vm;
 }
@@ -207,6 +209,13 @@ std::vector<VmRecord> CloudManager::vms_on_host(const std::string& host_name) co
     if (r.host == host_name) out.push_back(r);
   }
   return out;
+}
+
+void CloudManager::for_each_vm_on_host(const std::string& host_name,
+                                       const std::function<void(const VmRecord&)>& fn) const {
+  for (const VmRecord& r : registry_) {
+    if (r.host == host_name) fn(r);
+  }
 }
 
 std::vector<VmRecord> CloudManager::all_vms() const { return registry_; }

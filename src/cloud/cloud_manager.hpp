@@ -14,6 +14,7 @@
 
 #include "sim/emit.hpp"
 #include "sim/engine.hpp"
+#include "sim/interner.hpp"
 #include "virt/hypervisor.hpp"
 
 namespace perfcloud::cloud {
@@ -25,6 +26,11 @@ struct VmRecord {
   std::string host;
   virt::Priority priority = virt::Priority::kLow;
   std::string app_id;
+  /// `app_id` interned through the manager's app interner at boot
+  /// (kInvalid when the VM belongs to no application). Node managers key
+  /// their per-app hot-path state by this dense id; the string stays for
+  /// emission and reporting.
+  sim::Interner::Id app = sim::Interner::kInvalid;
 };
 
 class CloudManager {
@@ -82,6 +88,16 @@ class CloudManager {
   /// placement changes.
   [[nodiscard]] std::uint64_t registry_version() const { return registry_version_; }
   [[nodiscard]] std::vector<VmRecord> vms_on_host(const std::string& host_name) const;
+  /// Visit this host's records in registry (boot) order without building a
+  /// vector of string copies — what the node managers' registry-view cache
+  /// rebuild uses.
+  void for_each_vm_on_host(const std::string& host_name,
+                           const std::function<void(const VmRecord&)>& fn) const;
+  /// The application-id interner shared by every node manager on this
+  /// cloud. Mutable access because sinks may be attached (and their app
+  /// names interned) before any VM of the app has booted.
+  [[nodiscard]] sim::Interner& app_interner() { return app_interner_; }
+  [[nodiscard]] const sim::Interner& app_interner() const { return app_interner_; }
   /// All registered VMs across the cloud.
   [[nodiscard]] std::vector<VmRecord> all_vms() const;
   /// Hosts that currently run at least one VM of the given application.
@@ -125,6 +141,7 @@ class CloudManager {
   [[nodiscard]] Host* find_host(const std::string& name);
 
   sim::Engine& engine_;
+  sim::Interner app_interner_;
   sim::EmitSink* sink_ = nullptr;
   sim::EmitSink::SourceId sink_source_ = 0;
   std::vector<Host> hosts_;

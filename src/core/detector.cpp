@@ -5,10 +5,10 @@
 namespace perfcloud::core {
 
 DetectionResult InterferenceDetector::evaluate(std::span<const VmSample* const> app_vms) const {
-  std::vector<double> ratios;
-  std::vector<double> cpis;
-  ratios.reserve(app_vms.size());
-  cpis.reserve(app_vms.size());
+  std::vector<double>& ratios = ratios_;
+  std::vector<double>& cpis = cpis_;
+  ratios.clear();
+  cpis.clear();
   for (const VmSample* s : app_vms) {
     if (s == nullptr) continue;
     if (s->iowait_ratio_ms) ratios.push_back(*s->iowait_ratio_ms);

@@ -32,6 +32,11 @@ class InterferenceDetector {
 
  private:
   PerfCloudConfig cfg_;
+  /// Per-call scratch, capacity retained across quanta so a steady-state
+  /// evaluation allocates nothing. Each node manager owns its detector and
+  /// calls it from its own shard task only, so mutable scratch is safe.
+  mutable std::vector<double> ratios_;
+  mutable std::vector<double> cpis_;
 };
 
 }  // namespace perfcloud::core

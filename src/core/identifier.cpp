@@ -15,10 +15,14 @@ namespace {
 /// windowed usage is zero the gate fails for all of them: `usage >= f * 0`
 /// would otherwise hold trivially, flagging idle suspects whose correlation
 /// is a numerical artifact — an idle VM puts pressure on nothing.
+///
+/// Operates on out[start..], which holds exactly usage.size() scores of the
+/// current call (out may carry earlier victims' finalized scores before
+/// `start`).
 void finalize_scores(const PerfCloudConfig& cfg, const std::vector<double>& usage,
-                     double max_usage, std::vector<SuspectScore>& out) {
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    SuspectScore& score = out[i];
+                     double max_usage, std::vector<SuspectScore>& out, std::size_t start) {
+  for (std::size_t i = 0; i < usage.size(); ++i) {
+    SuspectScore& score = out[start + i];
     const double evidence =
         cfg.use_absolute_correlation ? std::abs(score.correlation) : score.correlation;
     const bool heavy_enough = max_usage > 0.0 && usage[i] >= cfg.min_usage_fraction * max_usage;
@@ -29,7 +33,7 @@ void finalize_scores(const PerfCloudConfig& cfg, const std::vector<double>& usag
 }  // namespace
 
 std::vector<SuspectScore> AntagonistIdentifier::score(
-    const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects) const {
+    const sim::TimeSeries& victim_signal, std::span<const SuspectSignal> suspects) const {
   std::vector<SuspectScore> out;
   if (victim_signal.size() < cfg_.min_correlation_samples) return out;
   out.reserve(suspects.size());
@@ -54,33 +58,40 @@ std::vector<SuspectScore> AntagonistIdentifier::score(
     }
     out.push_back(score);
   }
-  finalize_scores(cfg_, usage, max_usage, out);
+  finalize_scores(cfg_, usage, max_usage, out, 0);
   return out;
 }
 
-AntagonistIdentifier::PairState& AntagonistIdentifier::pair_state(const sim::TimeSeries* victim,
-                                                                  int vm_id) {
-  const auto key = std::make_pair(victim, vm_id);
-  auto it = pairs_.find(key);
-  if (it == pairs_.end()) {
-    it = pairs_.try_emplace(key, PairState{sim::RollingCorrelation(cfg_.correlation_window), 0})
-             .first;
+AntagonistIdentifier::PairState& AntagonistIdentifier::pair_state(
+    VictimKey victim, int vm_id, const sim::TimeSeries& victim_signal) {
+  sim::SlotMap<PairState>& per_victim = *pairs_.try_emplace(victim).first;
+  PairState* state = per_victim.find(vm_id);
+  if (state == nullptr) {
+    // Construct the accumulator only on the miss path: building (and
+    // discarding) a RollingCorrelation per lookup would allocate its ring
+    // every quantum.
+    state = per_victim
+                .try_emplace(vm_id,
+                             PairState{sim::RollingCorrelation(cfg_.correlation_window), 0})
+                .first;
     // A pair discovered mid-run only needs the victim's current window: the
     // rolling accumulator would evict anything older anyway.
-    const std::size_t n = victim->size();
-    it->second.consumed = n > cfg_.correlation_window ? n - cfg_.correlation_window : 0;
+    const std::size_t n = victim_signal.size();
+    state->consumed = n > cfg_.correlation_window ? n - cfg_.correlation_window : 0;
   }
-  return it->second;
+  return *state;
 }
 
-std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
-    const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects) {
-  std::vector<SuspectScore> out;
-  if (victim_signal.size() < cfg_.min_correlation_samples) return out;
-  out.reserve(suspects.size());
+void AntagonistIdentifier::score_incremental(VictimKey victim,
+                                             const sim::TimeSeries& victim_signal,
+                                             std::span<const SuspectSignal> suspects,
+                                             std::vector<SuspectScore>& out) {
+  if (victim_signal.size() < cfg_.min_correlation_samples) return;
+  const std::size_t start = out.size();
 
   const std::size_t n = victim_signal.size();
-  std::vector<double> usage(suspects.size(), 0.0);
+  usage_.clear();
+  usage_.resize(suspects.size(), 0.0);
   double max_usage = 0.0;
 
   for (std::size_t i = 0; i < suspects.size(); ++i) {
@@ -88,7 +99,7 @@ std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
     SuspectScore score;
     score.vm_id = s.vm_id;
     if (s.series != nullptr) {
-      PairState& st = pair_state(&victim_signal, s.vm_id);
+      PairState& st = pair_state(victim, s.vm_id, victim_signal);
       if (st.consumed > n) {
         // The victim series shrank (cleared/restarted): replay its window.
         st.corr.reset();
@@ -101,12 +112,19 @@ std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
       }
       st.consumed = n;
       score.correlation = st.corr.correlation();
-      usage[i] = st.corr.mean_y();
+      usage_[i] = st.corr.mean_y();
     }
-    max_usage = std::max(max_usage, usage[i]);
+    max_usage = std::max(max_usage, usage_[i]);
     out.push_back(score);
   }
-  finalize_scores(cfg_, usage, max_usage, out);
+  finalize_scores(cfg_, usage_, max_usage, out, start);
+}
+
+std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
+    VictimKey victim, const sim::TimeSeries& victim_signal,
+    std::span<const SuspectSignal> suspects) {
+  std::vector<SuspectScore> out;
+  score_incremental(victim, victim_signal, suspects, out);
   return out;
 }
 

@@ -7,12 +7,13 @@
 // missing at some victim sample times are treated as zero.
 #pragma once
 
-#include <map>
-#include <utility>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/config.hpp"
 #include "sim/rolling_correlation.hpp"
+#include "sim/slot_store.hpp"
 #include "sim/time_series.hpp"
 
 namespace perfcloud::core {
@@ -30,32 +31,54 @@ struct SuspectScore {
 
 class AntagonistIdentifier {
  public:
+  /// Stable caller-assigned identity of one victim deviation signal. One
+  /// identifier serves several victim signals (I/O and CPI, per
+  /// application); keys must be small non-negative ints, distinct per
+  /// signal, and must never be reassigned to a different series while the
+  /// old one's window is still relevant. The node manager uses
+  /// 2*app / 2*app+1 for an application's I/O / CPI signals.
+  ///
+  /// (Earlier revisions keyed pair state by the victim's TimeSeries
+  /// address, which could silently resurrect a dead victim's accumulators
+  /// when the allocator reused the address — an ABA hazard the explicit
+  /// key removes.)
+  using VictimKey = std::int32_t;
+
   explicit AntagonistIdentifier(PerfCloudConfig cfg) : cfg_(cfg) {}
 
-  /// Score every suspect against the victim deviation signal. Returns an
-  /// empty vector until the victim signal has the configured minimum number
-  /// of samples (Fig 5c: three suffice).
+  /// Score every suspect against the victim deviation signal. Appends
+  /// nothing until the victim signal has the configured minimum number of
+  /// samples (Fig 5c: three suffice).
   ///
   /// Batch path: re-aligns and re-sums the whole correlation window,
   /// O(window + log n) per suspect per call. Kept for one-shot analyses
   /// (figure benches) and as the reference the incremental path is tested
   /// against.
   [[nodiscard]] std::vector<SuspectScore> score(const sim::TimeSeries& victim_signal,
-                                                const std::vector<SuspectSignal>& suspects) const;
+                                                std::span<const SuspectSignal> suspects) const;
 
-  /// Same scores, computed incrementally: per (victim, suspect) pair a
-  /// RollingCorrelation accumulator ingests only the victim samples that
+  /// Same scores, computed incrementally: per (victim key, suspect VM) pair
+  /// a RollingCorrelation accumulator ingests only the victim samples that
   /// arrived since the previous call (normally one per control interval),
   /// aligning each against the suspect at that timestamp (missing -> 0).
   /// Amortized O(1) per suspect per call instead of O(window + log n).
+  /// Appends this call's scores to `out` (the hot path accumulates scores
+  /// of several victim signals in one retained vector — no per-call
+  /// allocation once warm).
   ///
-  /// Requirements: both series objects must be stable in memory and
-  /// append-only in time between calls (the node manager's signal stores and
-  /// the monitor's per-VM series satisfy this). A victim series that shrank
+  /// Requirements: the suspect series objects must be stable in memory for
+  /// the duration of the call, and the victim series append-only in time
+  /// between calls under the same key. A victim series that shrank
   /// (cleared) resets its pair states. Bounded (ring-buffer) suspect series
   /// are fine as long as their capacity covers the correlation window.
+  void score_incremental(VictimKey victim, const sim::TimeSeries& victim_signal,
+                         std::span<const SuspectSignal> suspects,
+                         std::vector<SuspectScore>& out);
+
+  /// Convenience wrapper returning a fresh vector (tests, benches).
   [[nodiscard]] std::vector<SuspectScore> score_incremental(
-      const sim::TimeSeries& victim_signal, const std::vector<SuspectSignal>& suspects);
+      VictimKey victim, const sim::TimeSeries& victim_signal,
+      std::span<const SuspectSignal> suspects);
 
  private:
   struct PairState {
@@ -63,13 +86,15 @@ class AntagonistIdentifier {
     std::size_t consumed = 0;  ///< Victim samples already pushed.
   };
 
-  PairState& pair_state(const sim::TimeSeries* victim, int vm_id);
+  PairState& pair_state(VictimKey victim, int vm_id, const sim::TimeSeries& victim_signal);
 
   PerfCloudConfig cfg_;
-  /// Keyed by (victim series identity, suspect VM id): one identifier serves
-  /// several victim signals (I/O and CPI, per application). Entries for
-  /// departed suspects linger; the population is bounded by VMs-per-host.
-  std::map<std::pair<const sim::TimeSeries*, int>, PairState> pairs_;
+  /// pairs_[victim key][suspect VM id]: dense slot stores, two array
+  /// indexes per lookup on the hot path. Entries for departed suspects
+  /// linger; the population is bounded by VMs-per-host.
+  sim::SlotMap<sim::SlotMap<PairState>> pairs_;
+  /// Per-call scratch for the §III-B magnitude gate, capacity retained.
+  std::vector<double> usage_;
 };
 
 }  // namespace perfcloud::core

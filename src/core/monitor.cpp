@@ -5,18 +5,17 @@ namespace perfcloud::core {
 const sim::TimeSeries PerformanceMonitor::kEmptySeries{};
 
 PerformanceMonitor::PerVm& PerformanceMonitor::state(int vm_id) {
-  auto it = vms_.find(vm_id);
-  if (it == vms_.end()) {
-    it = vms_.try_emplace(vm_id).first;
-    it->second.iowait_ratio = sim::Ewma(cfg_.ewma_alpha);
-    it->second.cpi = sim::Ewma(cfg_.ewma_alpha);
-    it->second.io_bps = sim::Ewma(cfg_.ewma_alpha);
-    it->second.llc_rate = sim::Ewma(cfg_.ewma_alpha);
-    it->second.cpu_cores = sim::Ewma(cfg_.ewma_alpha);
-    it->second.io_series.set_capacity(cfg_.monitor_series_capacity);
-    it->second.llc_series.set_capacity(cfg_.monitor_series_capacity);
+  const auto [s, inserted] = vms_.try_emplace(vm_id);
+  if (inserted) {
+    s->iowait_ratio = sim::Ewma(cfg_.ewma_alpha);
+    s->cpi = sim::Ewma(cfg_.ewma_alpha);
+    s->io_bps = sim::Ewma(cfg_.ewma_alpha);
+    s->llc_rate = sim::Ewma(cfg_.ewma_alpha);
+    s->cpu_cores = sim::Ewma(cfg_.ewma_alpha);
+    s->io_series.set_capacity(cfg_.monitor_series_capacity);
+    s->llc_series.set_capacity(cfg_.monitor_series_capacity);
   }
-  return it->second;
+  return *s;
 }
 
 void PerformanceMonitor::sample(sim::SimTime now) {
@@ -122,29 +121,29 @@ void PerformanceMonitor::set_blackout_all(bool dark) {
 }
 
 const VmSample* PerformanceMonitor::latest(int vm_id) const {
-  const auto it = vms_.find(vm_id);
-  if (it == vms_.end() || !it->second.has_latest) return nullptr;
-  return &it->second.latest;
+  const PerVm* s = vms_.find(vm_id);
+  if (s == nullptr || !s->has_latest) return nullptr;
+  return &s->latest;
 }
 
 const sim::TimeSeries& PerformanceMonitor::io_throughput_series(int vm_id) const {
-  const auto it = vms_.find(vm_id);
-  return it == vms_.end() ? kEmptySeries : it->second.io_series;
+  const PerVm* s = vms_.find(vm_id);
+  return s == nullptr ? kEmptySeries : s->io_series;
 }
 
 const sim::TimeSeries& PerformanceMonitor::llc_miss_series(int vm_id) const {
-  const auto it = vms_.find(vm_id);
-  return it == vms_.end() ? kEmptySeries : it->second.llc_series;
+  const PerVm* s = vms_.find(vm_id);
+  return s == nullptr ? kEmptySeries : s->llc_series;
 }
 
 double PerformanceMonitor::observed_io_bps(int vm_id) const {
-  const auto it = vms_.find(vm_id);
-  return it == vms_.end() ? 0.0 : it->second.io_bps.value();
+  const PerVm* s = vms_.find(vm_id);
+  return s == nullptr ? 0.0 : s->io_bps.value();
 }
 
 double PerformanceMonitor::observed_cpu_cores(int vm_id) const {
-  const auto it = vms_.find(vm_id);
-  return it == vms_.end() ? 0.0 : it->second.cpu_cores.value();
+  const PerVm* s = vms_.find(vm_id);
+  return s == nullptr ? 0.0 : s->cpu_cores.value();
 }
 
 }  // namespace perfcloud::core

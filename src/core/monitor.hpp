@@ -12,13 +12,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "core/config.hpp"
 #include "sim/ewma.hpp"
+#include "sim/slot_store.hpp"
 #include "sim/time_series.hpp"
 #include "virt/hypervisor.hpp"
 
@@ -58,7 +58,9 @@ class PerformanceMonitor {
   /// stay byte-identical to the slow path.
   void record_settled(sim::SimTime now);
 
-  /// Latest sample of a VM; nullptr before the first sample.
+  /// Latest sample of a VM; nullptr before the first sample. The pointer is
+  /// valid until the next sample()/record_settled() call (per-VM state lives
+  /// in a dense slot store; sampling a never-seen VM may move it).
   [[nodiscard]] const VmSample* latest(int vm_id) const;
 
   /// Suspect-side series used by the antagonist identifier.
@@ -103,7 +105,11 @@ class PerformanceMonitor {
 
   virt::Hypervisor& hv_;
   PerfCloudConfig cfg_;
-  std::map<int, PerVm> vms_;
+  /// Keyed by VM id: two array indexes per lookup, and the per-quantum walk
+  /// over hv_.vms() touches per-VM state in contiguous slots instead of
+  /// red-black tree nodes. Entries of departed VMs linger (ids are never
+  /// reused cloud-wide, so they are simply unreachable).
+  sim::SlotMap<PerVm> vms_;
   std::set<int> blackout_;     ///< Individually darkened VM ids.
   bool blackout_all_ = false;  ///< Whole-host blackout.
   bool settled_ = false;       ///< Last full sample saw only settled VMs.

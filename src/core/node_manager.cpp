@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/arena.hpp"
+
 namespace perfcloud::core {
 
 const sim::TimeSeries NodeManager::kEmptySeries{};
@@ -32,15 +34,21 @@ void NodeManager::attach_sink(sim::EmitSink& sink, const std::vector<std::string
   sink_ = &sink;
   sink_source_ = sink.add_event_source(host_);
   for (const std::string& app : app_ids) {
+    const AppId id = cloud_.app_interner().intern(app);
     sink_columns_.try_emplace(
-        app, SinkColumns{sink.add_trace_column(host_ + "/" + app + "/io_dev"),
-                         sink.add_trace_column(host_ + "/" + app + "/cpi_dev")});
+        id, SinkColumns{sink.add_trace_column(host_ + "/" + app + "/io_dev"),
+                        sink.add_trace_column(host_ + "/" + app + "/cpi_dev")});
   }
 }
 
-sim::TimeSeries& NodeManager::signal(std::map<std::string, sim::TimeSeries>& store,
-                                     const std::string& app_id) {
-  return store.try_emplace(app_id, sim::TimeSeries(app_id)).first->second;
+sim::TimeSeries& NodeManager::signal(sim::SlotMap<sim::TimeSeries>& store, AppId app) {
+  sim::TimeSeries* s = store.find(app);
+  if (s == nullptr) {
+    // Name the series only on the miss path: building the temporary
+    // TimeSeries per lookup would copy the app name string every interval.
+    s = store.try_emplace(app, sim::TimeSeries(cloud_.app_interner().name(app))).first;
+  }
+  return *s;
 }
 
 void NodeManager::control_step(sim::SimTime now) {
@@ -55,6 +63,43 @@ void NodeManager::run_pending_escalation(sim::SimTime now) {
   cloud_.resolve_high_priority_collision(host_);
 }
 
+void NodeManager::refresh_view() {
+  const std::uint64_t version = cloud_.registry_version();
+  if (view_version_ == version) return;
+  view_version_ = version;
+  view_apps_.clear();
+  view_suspects_.clear();
+  // Fetch the current VM registry for this host (Nova API in the paper):
+  // placement or priority changes since the last interval are picked up here.
+  cloud_.for_each_vm_on_host(host_, [this](const cloud::VmRecord& r) {
+    if (r.priority == virt::Priority::kHigh && r.app != sim::Interner::kInvalid) {
+      AppGroup* group = nullptr;
+      for (AppGroup& g : view_apps_) {
+        if (g.app == r.app) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        group = &view_apps_.emplace_back();
+        group->app = r.app;
+      }
+      group->vm_ids.push_back(r.id);
+    } else if (r.priority == virt::Priority::kLow) {
+      view_suspects_.push_back(r.id);
+    }
+  });
+  // Name order, not AppId order: the emission and iteration order of the
+  // string-keyed maps this view replaced — byte-identity depends on it.
+  // (AppId order follows interning order, i.e. boot order, which differs.)
+  const sim::Interner& interner = cloud_.app_interner();
+  std::sort(view_apps_.begin(), view_apps_.end(),
+            [&interner](const AppGroup& a, const AppGroup& b) {
+              return interner.name(a.app) < interner.name(b.app);
+            });
+  cached_protected_apps_ = !view_apps_.empty();
+}
+
 bool NodeManager::try_quiescent_step(sim::SimTime now) {
   if (!virt::idle_fastpath_enabled()) return false;
   // Live controllers still step (and actuate) every interval even without
@@ -63,18 +108,9 @@ bool NodeManager::try_quiescent_step(sim::SimTime now) {
   if (!hv_.is_quiescent(now) || !monitor_.can_fast_sample()) return false;
   // A host carrying a protected application appends a deviation-signal
   // sample (and possibly sink columns) every interval even when idle, so it
-  // must run the full pipeline. The registry summary is cached: between
+  // must run the full pipeline. The registry view is cached: between
   // placement changes this check is one integer compare, not a scan.
-  if (cached_registry_version_ != cloud_.registry_version()) {
-    cached_registry_version_ = cloud_.registry_version();
-    cached_protected_apps_ = false;
-    for (const cloud::VmRecord& r : cloud_.vms_on_host(host_)) {
-      if (r.priority == virt::Priority::kHigh && !r.app_id.empty()) {
-        cached_protected_apps_ = true;
-        break;
-      }
-    }
-  }
+  refresh_view();
   if (cached_protected_apps_) return false;
 
   // Replay exactly what the full pipeline does on a quiescent, app-free
@@ -92,59 +128,54 @@ bool NodeManager::try_quiescent_step(sim::SimTime now) {
 void NodeManager::local_step(sim::SimTime now) {
   if (try_quiescent_step(now)) return;
   monitor_.sample(now);
-
-  // Fetch the current VM registry for this host (Nova API in the paper):
-  // placement or priority changes since the last interval are picked up here.
-  const std::vector<cloud::VmRecord> records = cloud_.vms_on_host(host_);
-
-  std::map<std::string, std::vector<int>> apps;  // high-priority app -> VM ids
-  std::vector<int> suspects;                     // low-priority VM ids
-  for (const cloud::VmRecord& r : records) {
-    if (r.priority == virt::Priority::kHigh && !r.app_id.empty()) {
-      apps[r.app_id].push_back(r.id);
-    } else if (r.priority == virt::Priority::kLow) {
-      suspects.push_back(r.id);
-    }
-  }
+  refresh_view();
 
   // §IV-D escalation: two high-priority applications on one host cannot
   // both be protected by throttling third parties — the cloud manager must
   // separate them by migration. Migration mutates cross-host state, so it
   // is only flagged here and runs after the shard-sweep barrier; the next
   // interval sees one group.
-  escalation_pending_ = cfg_.escalate_app_collisions && apps.size() > 1;
+  escalation_pending_ = cfg_.escalate_app_collisions && view_apps_.size() > 1;
 
   bool any_io_contended = false;
   bool any_cpu_contended = false;
-  std::vector<int> io_antagonists;
-  std::vector<int> cpu_antagonists;
   io_scores_.clear();
   cpu_scores_.clear();
 
-  for (const auto& [app_id, vm_ids] : apps) {
-    std::vector<const VmSample*> samples;
-    samples.reserve(vm_ids.size());
-    for (int id : vm_ids) samples.push_back(monitor_.latest(id));
-    const DetectionResult det = detector_.evaluate(samples);
+  // Per-quantum scratch lives in the shard's bump arena: rewound when this
+  // step returns, reset (consolidated) by the pool at the sweep barrier.
+  sim::Arena& arena = sim::scratch_arena();
+  const sim::ArenaScope scratch(arena);
 
-    sim::TimeSeries& io_sig = signal(io_signals_, app_id);
-    sim::TimeSeries& cpi_sig = signal(cpi_signals_, app_id);
+  for (const AppGroup& g : view_apps_) {
+    // Per-app scratch rewinds before the next group runs, so the arena's
+    // high-water mark scales with the largest group, not the sum.
+    const sim::ArenaScope app_scratch(arena);
+    sim::ArenaVec<const VmSample*> samples(arena);
+    samples.reserve(g.vm_ids.size());
+    for (int id : g.vm_ids) samples.push_back(monitor_.latest(id));
+    const DetectionResult det = detector_.evaluate({samples.data(), samples.size()});
+
+    sim::TimeSeries& io_sig = signal(io_signals_, g.app);
+    sim::TimeSeries& cpi_sig = signal(cpi_signals_, g.app);
     io_sig.add(now, det.io_deviation);
     cpi_sig.add(now, det.cpi_deviation);
     if (sink_ != nullptr) {
-      const auto cols = sink_columns_.find(app_id);
-      if (cols != sink_columns_.end()) {
-        sink_->emit_sample(cols->second.io_dev, now, det.io_deviation);
-        sink_->emit_sample(cols->second.cpi_dev, now, det.cpi_deviation);
+      const SinkColumns* cols = sink_columns_.find(g.app);
+      if (cols != nullptr) {
+        sink_->emit_sample(cols->io_dev, now, det.io_deviation);
+        sink_->emit_sample(cols->cpi_dev, now, det.cpi_deviation);
       }
     }
     any_io_contended |= det.io_contended;
     any_cpu_contended |= det.cpu_contended;
 
     // Correlate the victim signal with every suspect's usage signal.
-    std::vector<SuspectSignal> io_suspects;
-    std::vector<SuspectSignal> cpu_suspects;
-    for (int id : suspects) {
+    sim::ArenaVec<SuspectSignal> io_suspects(arena);
+    sim::ArenaVec<SuspectSignal> cpu_suspects(arena);
+    io_suspects.reserve(view_suspects_.size());
+    cpu_suspects.reserve(view_suspects_.size());
+    for (int id : view_suspects_) {
       io_suspects.push_back(SuspectSignal{id, &monitor_.io_throughput_series(id)});
       cpu_suspects.push_back(SuspectSignal{id, &monitor_.llc_miss_series(id)});
     }
@@ -158,27 +189,35 @@ void NodeManager::local_step(sim::SimTime now) {
     // already earned (the memory horizon decays it) but can never NEWLY
     // cross the threshold. The identifier itself cannot tell "dark" from
     // "idle"; the node manager can, because it owns the monitor.
-    const auto record_identification = [&](std::map<int, sim::SimTime>& ids,
+    const auto record_identification = [&](sim::SlotMap<sim::SimTime>& ids,
                                            std::map<int, sim::SimTime>& first,
                                            const SuspectScore& s, const char* kind) {
       first.try_emplace(s.vm_id, now);
-      const auto [it, inserted] = ids.try_emplace(s.vm_id, now);
-      const bool fresh = inserted || now - it->second > cfg_.identification_memory_s;
-      it->second = now;
+      const auto [stamp, inserted] = ids.try_emplace(s.vm_id, now);
+      const bool fresh = inserted || now - *stamp > cfg_.identification_memory_s;
+      *stamp = now;
       if (fresh && sink_ != nullptr) {
         sink_->emit_event(sink_source_, now, kind + std::string(" vm=") + std::to_string(s.vm_id),
                           s.correlation);
         sink_->bump_counter(sink_source_, std::string(kind) + "_identifications");
       }
     };
-    for (const SuspectScore& s : identifier_.score_incremental(io_sig, io_suspects)) {
-      io_scores_.push_back(s);
+    // Victim keys 2*app / 2*app+1: stable per deviation signal for the run's
+    // lifetime (AppIds are never reassigned), per the identifier's contract.
+    const std::size_t io_start = io_scores_.size();
+    identifier_.score_incremental(2 * g.app, io_sig, {io_suspects.data(), io_suspects.size()},
+                                  io_scores_);
+    for (std::size_t i = io_start; i < io_scores_.size(); ++i) {
+      const SuspectScore& s = io_scores_[i];
       if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
         record_identification(io_identified_at_, io_first_identified_, s, "io_antagonist");
       }
     }
-    for (const SuspectScore& s : identifier_.score_incremental(cpi_sig, cpu_suspects)) {
-      cpu_scores_.push_back(s);
+    const std::size_t cpu_start = cpu_scores_.size();
+    identifier_.score_incremental(2 * g.app + 1, cpi_sig,
+                                  {cpu_suspects.data(), cpu_suspects.size()}, cpu_scores_);
+    for (std::size_t i = cpu_start; i < cpu_scores_.size(); ++i) {
+      const SuspectScore& s = cpu_scores_[i];
       if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
         record_identification(cpu_identified_at_, cpu_first_identified_, s, "cpu_antagonist");
       }
@@ -189,24 +228,28 @@ void NodeManager::local_step(sim::SimTime now) {
   // A suspect stays identified for a while after its correlation peak: the
   // strongest evidence appears at the antagonist's arrival, which may lead
   // the deviation signal's threshold crossing by an interval or two.
-  const auto recently_identified = [&](const std::map<int, sim::SimTime>& ids, int vm_id) {
-    const auto it = ids.find(vm_id);
-    return it != ids.end() && now - it->second <= cfg_.identification_memory_s;
+  const auto recently_identified = [&](const sim::SlotMap<sim::SimTime>& ids, int vm_id) {
+    const sim::SimTime* t = ids.find(vm_id);
+    return t != nullptr && now - *t <= cfg_.identification_memory_s;
   };
+  sim::ArenaVec<int> io_antagonists(arena);
+  sim::ArenaVec<int> cpu_antagonists(arena);
   if (any_io_contended) {
-    for (int id : suspects) {
+    for (int id : view_suspects_) {
       if (recently_identified(io_identified_at_, id)) io_antagonists.push_back(id);
     }
   }
   if (any_cpu_contended) {
-    for (int id : suspects) {
+    for (int id : view_suspects_) {
       if (recently_identified(cpu_identified_at_, id)) cpu_antagonists.push_back(id);
     }
   }
 
   if (!control_enabled_) return;
-  run_resource_control(Resource::kIo, any_io_contended, io_antagonists, now);
-  run_resource_control(Resource::kCpu, any_cpu_contended, cpu_antagonists, now);
+  run_resource_control(Resource::kIo, any_io_contended,
+                       {io_antagonists.data(), io_antagonists.size()}, now);
+  run_resource_control(Resource::kCpu, any_cpu_contended,
+                       {cpu_antagonists.data(), cpu_antagonists.size()}, now);
 }
 
 void NodeManager::set_cap_command_loss(double drop_probability, std::uint64_t seed) {
@@ -228,7 +271,7 @@ void NodeManager::forget_vm(int vm_id) {
 }
 
 void NodeManager::run_resource_control(Resource res, bool contended,
-                                       const std::vector<int>& antagonists, sim::SimTime now) {
+                                       std::span<const int> antagonists, sim::SimTime now) {
   auto& controllers = res == Resource::kIo ? io_controllers_ : cpu_controllers_;
   virt::Hypervisor& hv = hv_;
 
@@ -253,17 +296,21 @@ void NodeManager::run_resource_control(Resource res, bool contended,
         res == Resource::kIo
             ? std::max(monitor_.observed_io_bps(vm_id), kMinIoBaselineBps)
             : std::max(monitor_.observed_cpu_cores(vm_id), kMinCpuBaselineCores);
-    controllers.emplace(vm_id, std::make_unique<CubicController>(cfg_, baseline));
-    history.try_emplace(vm_id, sim::TimeSeries("cap-vm-" + std::to_string(vm_id)));
+    controllers.try_emplace(vm_id, CubicController(cfg_, baseline));
+    if (!history.contains(vm_id)) {
+      history.try_emplace(vm_id, sim::TimeSeries("cap-vm-" + std::to_string(vm_id)));
+    }
   }
 
-  // Step every active controller. Once a VM is under control it stays
-  // under control until the cubic recovery lifts its cap: throttling often
-  // destroys the correlation that identified it (its usage signal is
-  // flattened), so membership cannot be re-derived each interval.
-  for (auto it = controllers.begin(); it != controllers.end();) {
-    const int vm_id = it->first;
-    CubicController& ctrl = *it->second;
+  // Step every active controller, in ascending VM-id order (the iteration
+  // order of the map this store replaced — the event stream depends on it).
+  // Once a VM is under control it stays under control until the cubic
+  // recovery lifts its cap: throttling often destroys the correlation that
+  // identified it (its usage signal is flattened), so membership cannot be
+  // re-derived each interval.
+  for (int vm_id = controllers.first_key(); vm_id != sim::SlotMap<CubicController>::kEnd;) {
+    const int next_id = controllers.next_key(vm_id);
+    CubicController& ctrl = controllers.at(vm_id);
     ctrl.step(contended);
     history.at(vm_id).add(now, ctrl.cap());
     if (sink_ != nullptr) {
@@ -279,36 +326,38 @@ void NodeManager::run_resource_control(Resource res, bool contended,
       } else {
         actuate([&] { hv.clear_vcpu_quota(vm_id); });
       }
-      it = controllers.erase(it);
-      continue;
-    }
-    if (res == Resource::kIo) {
-      actuate([&] { hv.set_blkio_throttle(vm_id, ctrl.cap_absolute()); });
+      controllers.erase(vm_id);
     } else {
-      actuate([&] { hv.set_vcpu_quota(vm_id, ctrl.cap_absolute()); });
+      if (res == Resource::kIo) {
+        actuate([&] { hv.set_blkio_throttle(vm_id, ctrl.cap_absolute()); });
+      } else {
+        actuate([&] { hv.set_vcpu_quota(vm_id, ctrl.cap_absolute()); });
+      }
     }
-    ++it;
+    vm_id = next_id;
   }
 }
 
-const sim::TimeSeries& NodeManager::io_signal(const std::string& app_id) const {
-  const auto it = io_signals_.find(app_id);
-  return it == io_signals_.end() ? kEmptySeries : it->second;
+const sim::TimeSeries& NodeManager::io_signal(std::string_view app_id) const {
+  const AppId app = cloud_.app_interner().lookup(app_id);
+  const sim::TimeSeries* s = app == sim::Interner::kInvalid ? nullptr : io_signals_.find(app);
+  return s == nullptr ? kEmptySeries : *s;
 }
 
-const sim::TimeSeries& NodeManager::cpi_signal(const std::string& app_id) const {
-  const auto it = cpi_signals_.find(app_id);
-  return it == cpi_signals_.end() ? kEmptySeries : it->second;
+const sim::TimeSeries& NodeManager::cpi_signal(std::string_view app_id) const {
+  const AppId app = cloud_.app_interner().lookup(app_id);
+  const sim::TimeSeries* s = app == sim::Interner::kInvalid ? nullptr : cpi_signals_.find(app);
+  return s == nullptr ? kEmptySeries : *s;
 }
 
 const sim::TimeSeries& NodeManager::io_cap_series(int vm_id) const {
-  const auto it = io_cap_history_.find(vm_id);
-  return it == io_cap_history_.end() ? kEmptySeries : it->second;
+  const sim::TimeSeries* s = io_cap_history_.find(vm_id);
+  return s == nullptr ? kEmptySeries : *s;
 }
 
 const sim::TimeSeries& NodeManager::cpu_cap_series(int vm_id) const {
-  const auto it = cpu_cap_history_.find(vm_id);
-  return it == cpu_cap_history_.end() ? kEmptySeries : it->second;
+  const sim::TimeSeries* s = cpu_cap_history_.find(vm_id);
+  return s == nullptr ? kEmptySeries : *s;
 }
 
 }  // namespace perfcloud::core

@@ -7,11 +7,22 @@
 // (4) identifies antagonists by cross-correlation; and (5) runs the CUBIC
 // cap controllers and actuates CPU quotas and blkio throttles through the
 // hypervisor.
+//
+// Memory layout (DESIGN.md §5i): all per-quantum state is keyed by dense
+// integer ids — interned AppIds for per-application signals and sink
+// columns, VM ids for controllers, identification stamps, and cap history —
+// and lives in slot-indexed stores, so the steady-state quantum walks
+// contiguous arrays and allocates nothing. The registry view (app grouping
+// + suspects) is cached against the cloud's registry version and rebuilt
+// only when placement changes. Per-quantum scratch (sample pointers,
+// suspect signal lists, antagonist ids) comes from the shard's bump arena,
+// reset at the quantum barrier.
 #pragma once
 
 #include <map>
-#include <memory>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cloud/cloud_manager.hpp"
@@ -21,12 +32,17 @@
 #include "core/identifier.hpp"
 #include "core/monitor.hpp"
 #include "sim/emit.hpp"
+#include "sim/interner.hpp"
 #include "sim/rng.hpp"
+#include "sim/slot_store.hpp"
 
 namespace perfcloud::core {
 
 class NodeManager {
  public:
+  /// Interned application id (see cloud::CloudManager::app_interner()).
+  using AppId = sim::Interner::Id;
+
   NodeManager(cloud::CloudManager& cloud, std::string host_name, PerfCloudConfig cfg = {});
 
   NodeManager(const NodeManager&) = delete;
@@ -92,7 +108,10 @@ class NodeManager {
 
   /// HostCrash cleanup: drop all controller and identification state of a VM
   /// that no longer exists (actuating on a dead VM id would throw). Cap
-  /// history is kept — it is plot data, not control state.
+  /// history is kept — it is plot data, not control state. The VM's slots
+  /// are recycled; a later VM can never see its predecessor's state because
+  /// cloud-wide VM ids are never reused and recycled slots are constructed
+  /// fresh.
   void forget_vm(int vm_id);
 
   [[nodiscard]] const std::string& host_name() const { return host_; }
@@ -100,6 +119,8 @@ class NodeManager {
   /// First time each suspect was ever identified (per resource) — detection/
   /// identification-latency scoring for the chaos experiments. Unlike the
   /// rolling identification memory, these never update after the first cross.
+  /// Cold insert-only state, kept as ordered maps for cheap iteration by the
+  /// chaos report.
   [[nodiscard]] const std::map<int, sim::SimTime>& io_first_identified() const {
     return io_first_identified_;
   }
@@ -107,11 +128,13 @@ class NodeManager {
     return cpu_first_identified_;
   }
 
-  // --- Introspection for tests and figure benches ---
+  // --- Introspection for tests and figure benches (cold path) ---
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
   /// Deviation-signal series of one high-priority application on this host.
-  [[nodiscard]] const sim::TimeSeries& io_signal(const std::string& app_id) const;
-  [[nodiscard]] const sim::TimeSeries& cpi_signal(const std::string& app_id) const;
+  /// Heterogeneous lookup: the name resolves through the app interner, no
+  /// temporary std::string and no string-keyed tree walk.
+  [[nodiscard]] const sim::TimeSeries& io_signal(std::string_view app_id) const;
+  [[nodiscard]] const sim::TimeSeries& cpi_signal(std::string_view app_id) const;
   /// Normalized-cap series of a throttled VM (1.0 = baseline usage); empty
   /// if the VM was never throttled for that resource.
   [[nodiscard]] const sim::TimeSeries& io_cap_series(int vm_id) const;
@@ -123,6 +146,21 @@ class NodeManager {
  private:
   enum class Resource { kIo, kCpu };
 
+  /// One high-priority application's VMs on this host, plus the low-priority
+  /// suspect list — the parsed registry view local_step consumes. Rebuilt
+  /// from the cloud registry only when its version changes; between
+  /// placement changes the per-quantum cost is one integer compare.
+  struct AppGroup {
+    AppId app = sim::Interner::kInvalid;
+    std::vector<int> vm_ids;  ///< Registry (boot) order.
+  };
+
+  /// Re-parse the host's registry records if the cloud registry changed.
+  /// Groups are ordered by application *name* (the emission/iteration order
+  /// the string-keyed maps used to give for free), suspects in registry
+  /// order.
+  void refresh_view();
+
   /// The idle-host fast path: true when this interval was handled without
   /// touching the registry, the detector, or the controllers. Valid only
   /// when the hypervisor is quiescent, the monitor's settled state is
@@ -130,10 +168,9 @@ class NodeManager {
   /// cloud registry version), and no cap controller is live.
   bool try_quiescent_step(sim::SimTime now);
 
-  void run_resource_control(Resource res, bool contended, const std::vector<int>& antagonists,
+  void run_resource_control(Resource res, bool contended, std::span<const int> antagonists,
                             sim::SimTime now);
-  [[nodiscard]] sim::TimeSeries& signal(std::map<std::string, sim::TimeSeries>& store,
-                                        const std::string& app_id);
+  [[nodiscard]] sim::TimeSeries& signal(sim::SlotMap<sim::TimeSeries>& store, AppId app);
 
   struct SinkColumns {
     sim::EmitSink::SourceId io_dev = 0;
@@ -149,7 +186,7 @@ class NodeManager {
   PerfCloudConfig cfg_;
   sim::EmitSink* sink_ = nullptr;
   sim::EmitSink::SourceId sink_source_ = 0;
-  std::map<std::string, SinkColumns> sink_columns_;
+  sim::SlotMap<SinkColumns> sink_columns_;  ///< Keyed by AppId.
   PerformanceMonitor monitor_;
   InterferenceDetector detector_;
   AntagonistIdentifier identifier_;
@@ -157,13 +194,15 @@ class NodeManager {
   bool started_ = false;
   bool escalation_pending_ = false;
 
-  std::map<std::string, sim::TimeSeries> io_signals_;
-  std::map<std::string, sim::TimeSeries> cpi_signals_;
-  std::map<int, std::unique_ptr<CubicController>> io_controllers_;
-  std::map<int, std::unique_ptr<CubicController>> cpu_controllers_;
+  // Per-application deviation signals, keyed by AppId.
+  sim::SlotMap<sim::TimeSeries> io_signals_;
+  sim::SlotMap<sim::TimeSeries> cpi_signals_;
+  // Per-VM control state, keyed by VM id (dense slot stores; see §5i).
+  sim::SlotMap<CubicController> io_controllers_;
+  sim::SlotMap<CubicController> cpu_controllers_;
   // Most recent time each suspect's correlation crossed the threshold.
-  std::map<int, sim::SimTime> io_identified_at_;
-  std::map<int, sim::SimTime> cpu_identified_at_;
+  sim::SlotMap<sim::SimTime> io_identified_at_;
+  sim::SlotMap<sim::SimTime> cpu_identified_at_;
   // First time it ever crossed (insert-only; chaos-experiment scoring).
   std::map<int, sim::SimTime> io_first_identified_;
   std::map<int, sim::SimTime> cpu_first_identified_;
@@ -173,13 +212,15 @@ class NodeManager {
   sim::Rng cap_loss_rng_{0};
   long cap_commands_dropped_ = 0;
   // Cap history persists after a controller retires (Fig 10 plots it).
-  std::map<int, sim::TimeSeries> io_cap_history_;
-  std::map<int, sim::TimeSeries> cpu_cap_history_;
+  sim::SlotMap<sim::TimeSeries> io_cap_history_;
+  sim::SlotMap<sim::TimeSeries> cpu_cap_history_;
   std::vector<SuspectScore> io_scores_;
   std::vector<SuspectScore> cpu_scores_;
-  // Cached "does this host carry a protected app" registry summary, keyed
-  // to the cloud registry version (see try_quiescent_step).
-  std::uint64_t cached_registry_version_ = 0;
+  // Cached registry view (see refresh_view), keyed to the cloud registry
+  // version. view_version_ == 0 means never built (versions start at 1).
+  std::uint64_t view_version_ = 0;
+  std::vector<AppGroup> view_apps_;
+  std::vector<int> view_suspects_;
   bool cached_protected_apps_ = true;
   static const sim::TimeSeries kEmptySeries;
 };

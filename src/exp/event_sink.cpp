@@ -107,9 +107,15 @@ void EventSink::emit_event(SourceId source, sim::SimTime t, std::string kind, do
       Event{t.seconds(), static_cast<std::uint32_t>(source), std::move(kind), value});
 }
 
-void EventSink::bump_counter(SourceId source, const std::string& key, double delta) {
+void EventSink::bump_counter(SourceId source, std::string_view key, double delta) {
   if (closed_) throw std::logic_error("EventSink: bump_counter after close");
-  counters_.at(source)[key] += delta;
+  auto& counters = counters_.at(source);
+  const auto it = counters.find(key);
+  if (it != counters.end()) {
+    it->second += delta;
+  } else {
+    counters.emplace(std::string(key), delta);
+  }
 }
 
 namespace {

@@ -24,6 +24,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -112,7 +113,7 @@ class EventSink : public sim::EmitSink {
   // --- Emission (owner task only) ---
   void emit_sample(SourceId column, sim::SimTime t, double value) override;
   void emit_event(SourceId source, sim::SimTime t, std::string kind, double value) override;
-  void bump_counter(SourceId source, const std::string& key, double delta = 1.0) override;
+  void bump_counter(SourceId source, std::string_view key, double delta = 1.0) override;
 
   // --- Engine-thread drain/flush ---
   /// Post-barrier: merge everything staged during the quantum into one batch
@@ -183,7 +184,9 @@ class EventSink : public sim::EmitSink {
   // task during the quantum, swapped out by drain() on the engine thread.
   std::vector<std::vector<Sample>> staged_samples_;
   std::vector<std::vector<Event>> staged_events_;
-  std::vector<std::map<std::string, double>> counters_;
+  /// Transparent comparator: bump_counter looks keys up by string_view and
+  /// only materializes a std::string on a counter's first-ever bump.
+  std::vector<std::map<std::string, double, std::less<>>> counters_;
 
   // Engine-thread bookkeeping.
   std::uint64_t samples_recorded_ = 0;

@@ -1,0 +1,22 @@
+#include "sim/alloc_gauge.hpp"
+
+namespace perfcloud::sim {
+
+namespace alloc_detail {
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<bool> g_hook_linked{false};
+}  // namespace alloc_detail
+
+AllocGaugeSnapshot alloc_gauge_read() {
+  return AllocGaugeSnapshot{alloc_detail::g_allocs.load(std::memory_order_relaxed),
+                            alloc_detail::g_frees.load(std::memory_order_relaxed),
+                            alloc_detail::g_bytes.load(std::memory_order_relaxed)};
+}
+
+bool alloc_gauge_linked() {
+  return alloc_detail::g_hook_linked.load(std::memory_order_relaxed);
+}
+
+}  // namespace perfcloud::sim

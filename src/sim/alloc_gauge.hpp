@@ -1,0 +1,37 @@
+// Process-wide heap allocation counters, fed by the optional counting
+// operator new/delete replacement (alloc_hook.cpp, the `pc_alloc_hook`
+// object library). Binaries that link the hook — the perf-label test binary
+// and the micro benches — can bracket a code region and assert it performed
+// zero heap allocations; binaries without the hook read zeros and report
+// linked() == false.
+//
+// Counters are relaxed atomics: the zero-allocation gate runs the measured
+// region single-threaded (shards=1), so the counts it reads are exact.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace perfcloud::sim {
+
+namespace alloc_detail {
+// Written by the replaced operator new/delete in alloc_hook.cpp.
+extern std::atomic<std::uint64_t> g_allocs;
+extern std::atomic<std::uint64_t> g_frees;
+extern std::atomic<std::uint64_t> g_bytes;
+extern std::atomic<bool> g_hook_linked;
+}  // namespace alloc_detail
+
+struct AllocGaugeSnapshot {
+  std::uint64_t allocs = 0;  ///< operator new calls.
+  std::uint64_t frees = 0;   ///< operator delete calls (non-null).
+  std::uint64_t bytes = 0;   ///< cumulative bytes requested.
+};
+
+[[nodiscard]] AllocGaugeSnapshot alloc_gauge_read();
+
+/// True when the counting allocator hook is linked into this binary (so the
+/// counters actually move). A gate must check this before trusting a zero.
+[[nodiscard]] bool alloc_gauge_linked();
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,106 @@
+// Counting global operator new/delete, built as the `pc_alloc_hook` OBJECT
+// library so the replacement TU is always pulled into binaries that list it
+// (a static-library member with no referenced symbols could be skipped by
+// the linker; object files cannot). Every allocation goes through malloc and
+// bumps the alloc_gauge counters — sanitizer builds keep working because
+// their malloc interceptors sit underneath.
+//
+// Linked into the perf-label test binary (the zero-steady-state-allocation
+// gate and the byte-identity sweeps run with counting active) and the micro
+// benches (BENCH_*.json embed the counters via hw_context).
+#include <cstdlib>
+#include <new>
+
+#include "sim/alloc_gauge.hpp"
+
+namespace {
+
+using perfcloud::sim::alloc_detail::g_allocs;
+using perfcloud::sim::alloc_detail::g_bytes;
+using perfcloud::sim::alloc_detail::g_frees;
+using perfcloud::sim::alloc_detail::g_hook_linked;
+
+[[maybe_unused]] const bool kMarkLinked = [] {
+  g_hook_linked.store(true, std::memory_order_relaxed);
+  return true;
+}();
+
+void* counted_alloc(std::size_t n) noexcept {
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p != nullptr) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t n, std::size_t align) noexcept {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t size = (n + align - 1) / align * align;
+  void* p = std::aligned_alloc(align, size != 0 ? size : align);
+  if (p != nullptr) {
+    g_allocs.fetch_add(1, std::memory_order_relaxed);
+    g_bytes.fetch_add(n, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n) {
+  void* p = counted_alloc(n);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept { return counted_alloc(n); }
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept { return counted_alloc(n); }
+
+void* operator new(std::size_t n, std::align_val_t align) {
+  void* p = counted_alloc_aligned(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t n, std::align_val_t align) {
+  void* p = counted_alloc_aligned(n, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t n, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
 #include "sim/types.hpp"
 
@@ -37,8 +38,10 @@ class EmitSink {
   /// Append one report row. Times must be non-decreasing per source.
   virtual void emit_event(SourceId source, SimTime t, std::string kind, double value) = 0;
   /// Add `delta` to a named summary counter of `source` (written once, at
-  /// close, as the run-summary record).
-  virtual void bump_counter(SourceId source, const std::string& key, double delta = 1.0) = 0;
+  /// close, as the run-summary record). Takes a string_view so per-quantum
+  /// bumps with literal keys construct no temporary std::string — part of
+  /// the steady-state zero-allocation contract.
+  virtual void bump_counter(SourceId source, std::string_view key, double delta = 1.0) = 0;
 };
 
 }  // namespace perfcloud::sim

@@ -1,0 +1,28 @@
+#include "sim/interner.hpp"
+
+#include <stdexcept>
+
+namespace perfcloud::sim {
+
+Interner::Id Interner::intern(std::string_view name) {
+  const auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const Id id = static_cast<Id>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+Interner::Id Interner::lookup(std::string_view name) const {
+  const auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalid : it->second;
+}
+
+const std::string& Interner::name(Id id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= names_.size()) {
+    throw std::out_of_range("Interner::name: unknown id " + std::to_string(id));
+  }
+  return names_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,41 @@
+// String interner: maps registration-time names (application ids) to small
+// dense integer ids so the per-quantum hot path can index vectors instead of
+// walking string-keyed trees. Interning happens on the cold path (VM boot,
+// sink attachment); the original strings stay available for emission and
+// reporting via name().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace perfcloud::sim {
+
+class Interner {
+ public:
+  /// Dense id, assigned in first-intern order starting at 0.
+  using Id = std::int32_t;
+  static constexpr Id kInvalid = -1;
+
+  /// Id of `name`, interning it first if unseen. Ids are stable for the
+  /// interner's lifetime; interning the same string twice returns the same id.
+  Id intern(std::string_view name);
+
+  /// Id of `name` if already interned, kInvalid otherwise. Heterogeneous
+  /// lookup: no temporary std::string is constructed.
+  [[nodiscard]] Id lookup(std::string_view name) const;
+
+  /// The string an id was interned from. Throws std::out_of_range on ids
+  /// never returned by intern().
+  [[nodiscard]] const std::string& name(Id id) const;
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::map<std::string, Id, std::less<>> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace perfcloud::sim

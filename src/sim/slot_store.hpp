@@ -1,0 +1,118 @@
+// Dense slot-indexed store keyed by small non-negative integer ids (VM ids,
+// interned AppIds): the hot-path replacement for the string/int-keyed
+// red-black trees on the monitor -> detect -> identify -> control pipeline.
+//
+// Layout: a key -> slot indirection vector plus a contiguous slot vector.
+// Lookup is two array indexes; a full key-ordered walk touches memory
+// linearly instead of tree-hopping. Erased slots go on a free list and are
+// recycled by later insertions — a recycled slot always receives a freshly
+// constructed value, so state of an evicted VM can never resurrect under a
+// new key (the fault path depends on this).
+//
+// Reference stability: slots live in a std::vector, so *growth* (an insert
+// of a never-seen key) may move existing values. The hot path takes
+// references only after the quantum's insertions are done (monitor sampling
+// creates per-VM state before any pointer is handed out); anything holding a
+// reference across quanta must re-fetch it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace perfcloud::sim {
+
+template <typename T>
+class SlotMap {
+ public:
+  /// Sentinel returned by first_key()/next_key() when the scan is done.
+  static constexpr int kEnd = -1;
+
+  /// Value of `key`, constructing T(args...) first if absent. Returns the
+  /// value and whether it was inserted. Keys must be small non-negative ints
+  /// (the indirection vector is sized by the largest key ever seen).
+  template <typename... Args>
+  std::pair<T*, bool> try_emplace(int key, Args&&... args) {
+    if (key < 0) throw std::invalid_argument("SlotMap: negative key " + std::to_string(key));
+    if (static_cast<std::size_t>(key) >= slot_of_key_.size()) {
+      slot_of_key_.resize(static_cast<std::size_t>(key) + 1, kEnd);
+    }
+    std::int32_t& slot = slot_of_key_[static_cast<std::size_t>(key)];
+    if (slot != kEnd) return {&*slots_[static_cast<std::size_t>(slot)], false};
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::int32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[static_cast<std::size_t>(slot)].emplace(std::forward<Args>(args)...);
+    ++size_;
+    return {&*slots_[static_cast<std::size_t>(slot)], true};
+  }
+
+  [[nodiscard]] T* find(int key) {
+    const std::int32_t slot = slot_index(key);
+    return slot == kEnd ? nullptr : &*slots_[static_cast<std::size_t>(slot)];
+  }
+  [[nodiscard]] const T* find(int key) const {
+    const std::int32_t slot = slot_index(key);
+    return slot == kEnd ? nullptr : &*slots_[static_cast<std::size_t>(slot)];
+  }
+
+  [[nodiscard]] T& at(int key) {
+    T* v = find(key);
+    if (v == nullptr) throw std::out_of_range("SlotMap: no key " + std::to_string(key));
+    return *v;
+  }
+  [[nodiscard]] const T& at(int key) const {
+    const T* v = find(key);
+    if (v == nullptr) throw std::out_of_range("SlotMap: no key " + std::to_string(key));
+    return *v;
+  }
+
+  [[nodiscard]] bool contains(int key) const { return slot_index(key) != kEnd; }
+
+  /// Destroys the value and recycles its slot. Returns whether `key` was
+  /// present. Safe during a first_key/next_key walk for the current key.
+  bool erase(int key) {
+    const std::int32_t slot = slot_index(key);
+    if (slot == kEnd) return false;
+    slots_[static_cast<std::size_t>(slot)].reset();
+    free_.push_back(slot);
+    slot_of_key_[static_cast<std::size_t>(key)] = kEnd;
+    --size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  // --- Key-ordered scan (ascending key; kEnd terminates) ---
+  // The walk body may erase the key it is visiting; it must not insert.
+  [[nodiscard]] int first_key() const { return next_from(0); }
+  [[nodiscard]] int next_key(int key) const { return next_from(key + 1); }
+
+ private:
+  [[nodiscard]] std::int32_t slot_index(int key) const {
+    if (key < 0 || static_cast<std::size_t>(key) >= slot_of_key_.size()) return kEnd;
+    return slot_of_key_[static_cast<std::size_t>(key)];
+  }
+
+  [[nodiscard]] int next_from(int key) const {
+    for (std::size_t k = static_cast<std::size_t>(key); k < slot_of_key_.size(); ++k) {
+      if (slot_of_key_[k] != kEnd) return static_cast<int>(k);
+    }
+    return kEnd;
+  }
+
+  std::vector<std::int32_t> slot_of_key_;  ///< key -> slot, kEnd when absent.
+  std::vector<std::optional<T>> slots_;    ///< engaged iff some key maps here.
+  std::vector<std::int32_t> free_;         ///< recycled slots, LIFO.
+  std::size_t size_ = 0;
+};
+
+}  // namespace perfcloud::sim

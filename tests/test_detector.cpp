@@ -98,7 +98,8 @@ TEST(Identifier, RequiresMinimumSamples) {
   const AntagonistIdentifier ident{cfg};
   const sim::TimeSeries victim = series_of({1.0, 2.0});
   const sim::TimeSeries suspect = series_of({1.0, 2.0});
-  EXPECT_TRUE(ident.score(victim, {{1, &suspect}}).empty());
+  const std::vector<SuspectSignal> suspects{{1, &suspect}};
+  EXPECT_TRUE(ident.score(victim, suspects).empty());
 }
 
 TEST(Identifier, FlagsCorrelatedSuspect) {
@@ -106,7 +107,8 @@ TEST(Identifier, FlagsCorrelatedSuspect) {
   const sim::TimeSeries victim = series_of({1.0, 8.0, 2.0, 9.0, 1.5});
   const sim::TimeSeries correlated = series_of({10.0, 80.0, 20.0, 90.0, 15.0});
   const sim::TimeSeries uncorrelated = series_of({5.0, 4.8, 5.1, 5.2, 4.9});
-  const auto scores = ident.score(victim, {{1, &correlated}, {2, &uncorrelated}});
+  const std::vector<SuspectSignal> suspects{{1, &correlated}, {2, &uncorrelated}};
+  const auto scores = ident.score(victim, suspects);
   ASSERT_EQ(scores.size(), 2u);
   EXPECT_TRUE(scores[0].antagonist);
   EXPECT_GT(scores[0].correlation, 0.95);
@@ -121,22 +123,24 @@ TEST(Identifier, AntiCorrelationIsEvidenceByDefault) {
   const sim::TimeSeries victim = series_of({1.0, 8.0, 2.0, 9.0, 1.5});
   const sim::TimeSeries anti = series_of({9.0, 2.0, 8.0, 1.0, 8.5});
 
+  const std::vector<SuspectSignal> suspects{{1, &anti}};
   const AntagonistIdentifier abs_ident{PerfCloudConfig{}};
-  const auto abs_scores = abs_ident.score(victim, {{1, &anti}});
+  const auto abs_scores = abs_ident.score(victim, suspects);
   EXPECT_TRUE(abs_scores[0].antagonist);
   EXPECT_LT(abs_scores[0].correlation, -0.9);
 
   PerfCloudConfig paper_cfg;
   paper_cfg.use_absolute_correlation = false;
   const AntagonistIdentifier paper_ident{paper_cfg};
-  const auto paper_scores = paper_ident.score(victim, {{1, &anti}});
+  const auto paper_scores = paper_ident.score(victim, suspects);
   EXPECT_FALSE(paper_scores[0].antagonist);
 }
 
 TEST(Identifier, NullSeriesScoresZero) {
   const AntagonistIdentifier ident{PerfCloudConfig{}};
   const sim::TimeSeries victim = series_of({1.0, 2.0, 3.0, 4.0});
-  const auto scores = ident.score(victim, {{7, nullptr}});
+  const std::vector<SuspectSignal> suspects{{7, nullptr}};
+  const auto scores = ident.score(victim, suspects);
   ASSERT_EQ(scores.size(), 1u);
   EXPECT_DOUBLE_EQ(scores[0].correlation, 0.0);
   EXPECT_FALSE(scores[0].antagonist);
@@ -148,7 +152,8 @@ TEST(Identifier, ThreeSamplesSuffice) {
   const AntagonistIdentifier ident{PerfCloudConfig{}};
   const sim::TimeSeries victim = series_of({1.0, 9.0, 3.0});
   const sim::TimeSeries suspect = series_of({2.0, 18.0, 6.0});
-  const auto scores = ident.score(victim, {{1, &suspect}});
+  const std::vector<SuspectSignal> suspects{{1, &suspect}};
+  const auto scores = ident.score(victim, suspects);
   ASSERT_EQ(scores.size(), 1u);
   EXPECT_TRUE(scores[0].antagonist);
 }
@@ -160,12 +165,13 @@ TEST(Identifier, IdleSuspectWithMissingSamplesNotOveremphasized) {
   const sim::TimeSeries victim = series_of({2.0, 2.1, 8.0, 2.0, 2.05, 1.95});
   sim::TimeSeries sparse;
   sparse.add(sim::SimTime(15.0), 100.0);
-  const auto scores = ident.score(victim, {{1, &sparse}});
+  const std::vector<SuspectSignal> suspects{{1, &sparse}};
+  const auto scores = ident.score(victim, suspects);
   ASSERT_EQ(scores.size(), 1u);
   EXPECT_TRUE(scores[0].antagonist);  // actually aligned with the only spike
   // But a sparse suspect aligned with a *flat* victim is not flagged:
   const sim::TimeSeries flat = series_of({2.0, 2.1, 2.0, 2.0, 2.05, 1.95});
-  const auto scores2 = ident.score(flat, {{1, &sparse}});
+  const auto scores2 = ident.score(flat, suspects);
   EXPECT_FALSE(scores2[0].antagonist);
 }
 

@@ -91,9 +91,9 @@ TEST(Identifier, FullyDarkSuspectScoresZeroWhileLiveSuspectCrosses) {
     live.add(sim::SimTime(t), v * 3.0);
   }
 
+  const std::vector<core::SuspectSignal> suspects{{1, &live}, {2, &dark}};
   core::AntagonistIdentifier identifier(cfg);
-  const std::vector<core::SuspectScore> scores =
-      identifier.score(victim, {{1, &live}, {2, &dark}});
+  const std::vector<core::SuspectScore> scores = identifier.score(victim, suspects);
   ASSERT_EQ(scores.size(), 2u);
   EXPECT_TRUE(scores[0].antagonist);
   EXPECT_FALSE(scores[1].antagonist);
@@ -103,7 +103,7 @@ TEST(Identifier, FullyDarkSuspectScoresZeroWhileLiveSuspectCrosses) {
   // Same verdicts from the incremental scorer the node manager uses.
   core::AntagonistIdentifier incremental(cfg);
   const std::vector<core::SuspectScore> inc =
-      incremental.score_incremental(victim, {{1, &live}, {2, &dark}});
+      incremental.score_incremental(0, victim, suspects);
   ASSERT_EQ(inc.size(), 2u);
   EXPECT_TRUE(inc[0].antagonist);
   EXPECT_FALSE(inc[1].antagonist);

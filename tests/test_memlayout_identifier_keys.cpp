@@ -1,0 +1,155 @@
+// Regression tests for the identifier's pair-state keying (DESIGN.md §5i).
+//
+// Pair state used to be keyed by the victim TimeSeries' address; when a
+// victim died and the allocator handed its address to a new series, the new
+// victim silently inherited the old accumulators (an ABA hazard). State is
+// now keyed by a caller-assigned VictimKey, so identity is explicit and
+// address-independent. These tests run under ASan/TSan via the regular
+// sanitizer ctest sweeps of the perf suite.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/identifier.hpp"
+#include "sim/rng.hpp"
+#include "sim/time_series.hpp"
+
+namespace perfcloud::core {
+namespace {
+
+sim::TimeSeries linear_series(int n, double slope, double start_t = 0.0) {
+  sim::TimeSeries ts;
+  for (int i = 0; i < n; ++i) ts.add(sim::SimTime(start_t + 5.0 * i), slope * i);
+  return ts;
+}
+
+TEST(IdentifierKeys, DeadVictimsStateNeverResurrectsAtReusedAddress) {
+  PerfCloudConfig cfg;
+  cfg.correlation_window = 8;
+  AntagonistIdentifier ident(cfg);
+  const AntagonistIdentifier batch(cfg);
+
+  sim::TimeSeries suspect = linear_series(40, 2.0);
+  const std::vector<SuspectSignal> suspects{{1, &suspect}};
+
+  // Victim A accumulates 30 samples of pair state under key 0, then dies.
+  auto victim_a = std::make_unique<sim::TimeSeries>(linear_series(30, 1.0));
+  (void)ident.score_incremental(0, *victim_a, suspects);
+  victim_a.reset();
+
+  // Victim B — very possibly at victim A's freed address — has MORE samples
+  // than A had. Under address keying the identifier would treat it as A and
+  // consume only the tail; under key-based state (key 1) it starts fresh
+  // and must reproduce the batch scorer exactly.
+  auto victim_b = std::make_unique<sim::TimeSeries>(linear_series(40, -3.0));
+  const auto got = ident.score_incremental(1, *victim_b, suspects);
+  const auto want = batch.score(*victim_b, suspects);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].correlation, want[i].correlation, 1e-9) << i;
+    EXPECT_EQ(got[i].antagonist, want[i].antagonist) << i;
+  }
+}
+
+TEST(IdentifierKeys, DistinctKeysKeepIndependentStateForSameSeries) {
+  // One physical series scored under two keys (as the node manager scores
+  // an app's I/O and CPI signals with keys 2a and 2a+1): the two states
+  // must not bleed into each other.
+  PerfCloudConfig cfg;
+  cfg.correlation_window = 8;
+  AntagonistIdentifier ident(cfg);
+  const AntagonistIdentifier batch(cfg);
+
+  sim::TimeSeries suspect = linear_series(50, 1.5);
+  const std::vector<SuspectSignal> suspects{{3, &suspect}};
+  sim::TimeSeries victim = linear_series(20, 1.0);
+
+  // Key 0 consumes the first 20 samples; key 1 has seen nothing yet.
+  (void)ident.score_incremental(0, victim, suspects);
+  for (int i = 20; i < 35; ++i) victim.add(sim::SimTime(5.0 * i), 7.0 * i);
+
+  // Scoring under key 1 must ingest the WHOLE window afresh — identical to
+  // batch — even though key 0 already consumed most of the series.
+  const auto got1 = ident.score_incremental(1, victim, suspects);
+  const auto want = batch.score(victim, suspects);
+  ASSERT_EQ(got1.size(), want.size());
+  EXPECT_NEAR(got1[0].correlation, want[0].correlation, 1e-9);
+
+  // And key 0 continues incrementally from sample 20 — also matching batch.
+  const auto got0 = ident.score_incremental(0, victim, suspects);
+  EXPECT_NEAR(got0[0].correlation, want[0].correlation, 1e-9);
+}
+
+TEST(IdentifierKeys, SuspectSetGrowsAndShrinksWithoutCrossTalk) {
+  PerfCloudConfig cfg;
+  cfg.correlation_window = 12;
+  cfg.min_correlation_samples = 3;
+  AntagonistIdentifier ident(cfg);
+  const AntagonistIdentifier batch(cfg);
+
+  sim::Rng rng(17);
+  sim::TimeSeries victim("victim");
+  sim::TimeSeries s1("s1");
+  sim::TimeSeries s2("s2");
+  sim::TimeSeries s3("s3");
+
+  const auto expect_matches_batch = [&](const std::vector<SuspectSignal>& suspects, int tag) {
+    const auto got = ident.score_incremental(0, victim, suspects);
+    const auto want = batch.score(victim, suspects);
+    ASSERT_EQ(got.size(), want.size()) << tag;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].vm_id, want[i].vm_id) << tag;
+      EXPECT_NEAR(got[i].correlation, want[i].correlation, 1e-9) << tag << " i=" << i;
+      EXPECT_EQ(got[i].antagonist, want[i].antagonist) << tag << " i=" << i;
+    }
+  };
+
+  for (int i = 0; i < 60; ++i) {
+    const sim::SimTime t(5.0 * i);
+    const double x = rng.uniform(0.0, 20.0);
+    victim.add(t, x);
+    s1.add(t, 2.0 * x + rng.uniform(0.0, 2.0));
+    if (rng.uniform() < 0.7) s2.add(t, rng.uniform(0.0, 20.0));
+    s3.add(t, 30.0 - x);
+
+    if (i < 20) {
+      expect_matches_batch({{1, &s1}, {2, &s2}}, i);
+    } else if (i < 40) {
+      // Suspect 3 appears mid-run: its pair state starts at the current
+      // window, exactly like the batch scorer's windowed view.
+      expect_matches_batch({{1, &s1}, {2, &s2}, {3, &s3}}, i);
+    } else {
+      // Suspects 1 and 3 left (throttled away / evicted): scoring must not
+      // touch their lingering states, and suspect 2 stays incremental.
+      expect_matches_batch({{2, &s2}}, i);
+    }
+  }
+}
+
+TEST(IdentifierKeys, AppendingOverloadAccumulatesAcrossVictims) {
+  // The node manager accumulates several victims' scores in one retained
+  // vector; the out-param overload must append, not clobber.
+  PerfCloudConfig cfg;
+  cfg.correlation_window = 8;
+  cfg.min_correlation_samples = 3;
+  AntagonistIdentifier ident(cfg);
+
+  sim::TimeSeries suspect = linear_series(20, 2.0);
+  const std::vector<SuspectSignal> suspects{{5, &suspect}};
+  sim::TimeSeries io_victim = linear_series(20, 1.0);
+  sim::TimeSeries cpi_victim = linear_series(20, -1.0);
+
+  std::vector<SuspectScore> out;
+  ident.score_incremental(0, io_victim, suspects, out);
+  ASSERT_EQ(out.size(), 1u);
+  ident.score_incremental(1, cpi_victim, suspects, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].vm_id, 5);
+  EXPECT_EQ(out[1].vm_id, 5);
+  // Opposite-slope victims: correlations are mirrored, states independent.
+  EXPECT_NEAR(out[0].correlation, -out[1].correlation, 1e-9);
+}
+
+}  // namespace
+}  // namespace perfcloud::core

@@ -185,7 +185,7 @@ TEST(AntagonistIdentifierIncremental, MatchesBatchScores) {
     if (rng.uniform() < 0.6) cold.add(t, rng.uniform(0.0, 30.0));
 
     const auto want = batch.score(victim, suspects);
-    const auto got = incremental.score_incremental(victim, suspects);
+    const auto got = incremental.score_incremental(0, victim, suspects);
     ASSERT_EQ(got.size(), want.size()) << "i=" << i;
     for (std::size_t s = 0; s < want.size(); ++s) {
       EXPECT_EQ(got[s].vm_id, want[s].vm_id);
@@ -224,7 +224,7 @@ TEST(AntagonistIdentifier, AllZeroUsageSuspectsAreNeverFlagged) {
   EXPECT_FALSE(scores[1].antagonist);
 
   core::AntagonistIdentifier incremental(cfg);
-  const auto inc = incremental.score_incremental(victim, suspects);
+  const auto inc = incremental.score_incremental(0, victim, suspects);
   ASSERT_EQ(inc.size(), 2u);
   EXPECT_FALSE(inc[0].antagonist);
   EXPECT_FALSE(inc[1].antagonist);
@@ -253,7 +253,7 @@ TEST(AntagonistIdentifierIncremental, VictimResetRebuildsState) {
     const SimTime t(i * 1.0);
     victim.add(t, static_cast<double>(i % 5));
     suspect.add(t, static_cast<double>((i * 3) % 7));
-    (void)incremental.score_incremental(victim, suspects);
+    (void)incremental.score_incremental(0, victim, suspects);
   }
   victim.clear();  // victim shrank: pair state must reset, not corrupt
   for (int i = 0; i < 10; ++i) {
@@ -261,7 +261,7 @@ TEST(AntagonistIdentifierIncremental, VictimResetRebuildsState) {
     victim.add(t, static_cast<double>(i));
     suspect.add(t, 2.0 * i);
     const auto want = batch.score(victim, suspects);
-    const auto got = incremental.score_incremental(victim, suspects);
+    const auto got = incremental.score_incremental(0, victim, suspects);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t s = 0; s < want.size(); ++s) {
       EXPECT_NEAR(got[s].correlation, want[s].correlation, 1e-9) << "i=" << i;
