@@ -77,6 +77,26 @@ diff "$tmpdir/emit_synth_sync.csv" "$tmpdir/emit_synth_async.csv"
 diff "$tmpdir/emit_synth_sync.jsonl" "$tmpdir/emit_synth_async.jsonl"
 echo "micro_emit: sync and async emission byte-identical (cluster + synthetic)"
 
+echo "== packed-placement migration determinism gate =="
+# micro_migrate drives the §IV-D escalation path with live migrations in
+# flight (packed placement manufactures the collision) and prints only
+# simulation results to stdout; it also hard-fails internally if its packed
+# live-migration run differs between explicit shards 1 and 4. The diff
+# re-checks the env-driven path from the outside: migrations, escalations,
+# pre-copy inflows, pauses, and node-manager state handoffs may not change a
+# single output bit with the host sweeps actually parallel. (The new
+# migration/fault tests themselves run under TSan above via the full suite.)
+cmake --build --preset release -j "$(nproc)" --target micro_migrate
+( cd "$tmpdir" && PERFCLOUD_SHARDS=1 "$OLDPWD/build-release/bench/micro_migrate" \
+    > migrate_shards1.txt )
+( cd "$tmpdir" && PERFCLOUD_SHARDS=4 "$OLDPWD/build-release/bench/micro_migrate" \
+    > migrate_shards4.txt )
+( cd "$tmpdir" && PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static \
+    "$OLDPWD/build-release/bench/micro_migrate" > migrate_shards4_static.txt )
+diff "$tmpdir/migrate_shards1.txt" "$tmpdir/migrate_shards4.txt"
+diff "$tmpdir/migrate_shards1.txt" "$tmpdir/migrate_shards4_static.txt"
+echo "micro_migrate: byte-identical output across shard counts and schedulers"
+
 echo "== fault-plan determinism gate =="
 # A chaos run (host crash + blackout + disk degrade + cap-command loss +
 # VM stall + task failures) must be byte-identical — stdout AND the emitted

@@ -33,6 +33,34 @@ struct VmRecord {
   sim::Interner::Id app = sim::Interner::kInvalid;
 };
 
+/// Live-migration cost model (§IV-D escalation made non-free; DESIGN.md
+/// §5j). Default-constructed = disabled: migrate_vm is the legacy
+/// instantaneous evict→adopt handoff. With a positive bandwidth, migration
+/// is a timed two-phase process: a pre-copy of `memory / bandwidth_bps`
+/// seconds during which the VM keeps running on the source while the
+/// DESTINATION host's disk serves the page stream, then a stop-and-copy
+/// pause of `downtime_s` (Vm::set_paused) before the VM switches hosts.
+struct MigrationModel {
+  double bandwidth_bps = 0.0;  ///< 0 disables the model (instantaneous).
+  double downtime_s = 0.5;     ///< Stop-and-copy pause; 0 skips the pause.
+  [[nodiscard]] bool enabled() const { return bandwidth_bps > 0.0; }
+};
+
+/// Lifecycle notifications for listeners that own per-VM state keyed to a
+/// placement (node managers). kDeparting fires on the engine thread while
+/// the VM is STILL resident on `src` (so caps can be retired through the
+/// source hypervisor); kArrived fires right after adoption on `dst`;
+/// kAborted fires when a host crash kills an in-flight migration (the VM is
+/// back to normal on `src` if the source survived, dead otherwise).
+enum class MigrationPhase { kStarted, kDeparting, kArrived, kAborted };
+
+struct MigrationEvent {
+  int vm_id = 0;
+  MigrationPhase phase = MigrationPhase::kStarted;
+  std::string src;
+  std::string dst;
+};
+
 class CloudManager {
  public:
   explicit CloudManager(sim::Engine& engine) : engine_(engine) {}
@@ -70,9 +98,34 @@ class CloudManager {
   /// Live-migrate a VM to another host (§IV-D: the cloud manager's
   /// complementary remedy when node managers report problems they cannot
   /// solve locally, e.g. two high-priority applications colocated). The
-  /// VM's cgroup state and guest workload move with it. Throws on unknown
-  /// VM or host; migrating to the current host is a no-op.
+  /// VM's cgroup counters and guest workload move with it. Throws on
+  /// unknown VM or host; migrating to the current host is a no-op.
+  ///
+  /// With the migration model disabled (default) the handoff is
+  /// instantaneous. With it enabled, this only STARTS the migration: the
+  /// VM keeps running on the source during the pre-copy, pauses for the
+  /// stop-and-copy window, and switches hosts (registry update, listeners,
+  /// "migrate" event) only when the copy finishes. Throws if the VM is
+  /// already migrating.
   void migrate_vm(int vm_id, const std::string& dst_host);
+
+  /// Configure the live-migration cost model. Call during setup; throws if
+  /// migrations are currently in flight.
+  void set_migration_model(MigrationModel model);
+  [[nodiscard]] const MigrationModel& migration_model() const { return migration_model_; }
+  [[nodiscard]] bool migration_in_flight(int vm_id) const;
+  [[nodiscard]] std::size_t migrations_in_flight() const { return migrations_.size(); }
+  // Lifetime counters (instantaneous handoffs count as started+completed).
+  [[nodiscard]] long migrations_started() const { return migrations_started_; }
+  [[nodiscard]] long migrations_completed() const { return migrations_completed_; }
+  [[nodiscard]] long migrations_aborted() const { return migrations_aborted_; }
+
+  /// Subscribe to migration lifecycle events (see MigrationPhase). Called
+  /// on the engine thread, in registration order; listeners must outlive
+  /// the manager's runs. Node managers use this to hand off / retire their
+  /// per-VM state when a VM changes hosts.
+  using MigrationListener = std::function<void(const MigrationEvent&)>;
+  void add_migration_listener(MigrationListener listener);
 
   /// Node-manager escalation (§IV-D): called when a host has more than one
   /// high-priority application. The manager moves the smaller application
@@ -137,8 +190,42 @@ class CloudManager {
     bool up = true;
   };
 
+  /// One in-flight live migration: the pre-copy/pause/finish events plus
+  /// what finish/abort need to restore (whether WE paused the VM).
+  struct Migration {
+    int vm_id = 0;
+    std::string src;
+    std::string dst;
+    sim::EventHandle pause_event;
+    sim::EventHandle finish_event;
+    bool paused = false;            ///< Stop-and-copy pause currently applied.
+    bool resume_on_finish = true;   ///< False when a fault had it paused already.
+  };
+
   [[nodiscard]] const Host* find_host(const std::string& name) const;
   [[nodiscard]] Host* find_host(const std::string& name);
+  [[nodiscard]] VmRecord* find_record(int vm_id);
+  [[nodiscard]] const VmRecord* find_record(int vm_id) const;
+  [[nodiscard]] Migration* find_migration(int vm_id);
+
+  /// Admission check for migration destinations: resident vCPUs + memory,
+  /// plus every inbound in-flight migration, plus `shape`, must fit the
+  /// host's cores and DRAM.
+  [[nodiscard]] bool host_has_capacity(const Host& h, const virt::VmConfig& shape) const;
+
+  void notify_migration(int vm_id, MigrationPhase phase, const std::string& src,
+                        const std::string& dst);
+  /// The actual host switch, shared by the instantaneous path and
+  /// finish_migration: kDeparting notification (VM still on src), evict →
+  /// adopt, registry update, kArrived notification, "migrate" emission.
+  void complete_handoff(VmRecord& record, Host& src, Host& dst);
+  void start_live_migration(VmRecord& record, Host& src, Host& dst);
+  void pause_for_migration(int vm_id);
+  void finish_migration(int vm_id);
+  /// Kill every in-flight migration touching `host` (it is about to crash):
+  /// cancel the pending events, end the destination inflow, unpause the VM
+  /// if the source survives and we paused it, notify kAborted.
+  void abort_migrations_touching(const std::string& host);
 
   sim::Engine& engine_;
   sim::Interner app_interner_;
@@ -147,6 +234,12 @@ class CloudManager {
   std::vector<Host> hosts_;
   std::vector<VmRecord> registry_;
   std::uint64_t registry_version_ = 1;
+  MigrationModel migration_model_;
+  std::vector<Migration> migrations_;
+  std::vector<MigrationListener> migration_listeners_;
+  long migrations_started_ = 0;
+  long migrations_completed_ = 0;
+  long migrations_aborted_ = 0;
   int next_vm_id_ = 1;
   double tick_dt_ = 0.0;
   sim::ShardedPeriodic* pipeline_sweep_ = nullptr;

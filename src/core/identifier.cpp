@@ -120,6 +120,13 @@ void AntagonistIdentifier::score_incremental(VictimKey victim,
   finalize_scores(cfg_, usage_, max_usage, out, start);
 }
 
+void AntagonistIdentifier::forget_suspect(int vm_id) {
+  using Pairs = sim::SlotMap<sim::SlotMap<PairState>>;
+  for (int key = pairs_.first_key(); key != Pairs::kEnd; key = pairs_.next_key(key)) {
+    pairs_.at(key).erase(vm_id);
+  }
+}
+
 std::vector<SuspectScore> AntagonistIdentifier::score_incremental(
     VictimKey victim, const sim::TimeSeries& victim_signal,
     std::span<const SuspectSignal> suspects) {

@@ -80,6 +80,12 @@ class AntagonistIdentifier {
       VictimKey victim, const sim::TimeSeries& victim_signal,
       std::span<const SuspectSignal> suspects);
 
+  /// Migration handoff: drop the suspect's pair state under EVERY victim
+  /// key. Its correlation windows hold usage observed on this host; if the
+  /// VM returns after living elsewhere, scoring must restart from fresh
+  /// accumulators, not resume a stale window. Unknown ids are a no-op.
+  void forget_suspect(int vm_id);
+
  private:
   struct PairState {
     sim::RollingCorrelation corr;

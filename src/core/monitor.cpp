@@ -106,6 +106,14 @@ void PerformanceMonitor::record_settled(sim::SimTime now) {
   }
 }
 
+void PerformanceMonitor::forget_vm(int vm_id) {
+  vms_.erase(vm_id);
+  // The slot population changed; force the next sample down the full path
+  // (eviction/adoption bumped the hypervisor's activity epoch anyway, but
+  // don't rely on it from here).
+  settled_ = false;
+}
+
 void PerformanceMonitor::set_blackout(int vm_id, bool dark) {
   if (dark) {
     blackout_.insert(vm_id);

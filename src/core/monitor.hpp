@@ -72,6 +72,15 @@ class PerformanceMonitor {
   [[nodiscard]] double observed_io_bps(int vm_id) const;
   [[nodiscard]] double observed_cpu_cores(int vm_id) const;
 
+  /// Migration handoff: drop every trace of a VM that left this host —
+  /// counter baseline, EWMAs, series, latest sample. If the VM ever comes
+  /// back, its first sample re-primes the cumulative baseline (its counters
+  /// kept growing on the other host; a kept baseline would book all of that
+  /// as one interval's delta). Unknown ids are a no-op. NOT used on the
+  /// crash path: a crashed VM's series stay frozen for post-mortem reads,
+  /// and its id never returns.
+  void forget_vm(int vm_id);
+
   // --- Fault hooks (MonitorBlackout) ---
   /// Drop every sample of one VM (no series appends, no latest) until
   /// cleared. On recovery the next interval only re-primes the cumulative

@@ -28,6 +28,40 @@ void NodeManager::start() {
   cloud_.register_host_pipeline(
       cfg_.sample_interval_s, [this](sim::SimTime now) { local_step(now); },
       [this](sim::SimTime now) { run_pending_escalation(now); });
+  // Migration handoff: fires on the engine thread (migrations only happen
+  // in barrier phases or engine events), so it may touch this host's state
+  // freely.
+  cloud_.add_migration_listener([this](const cloud::MigrationEvent& ev) { on_migration(ev); });
+}
+
+void NodeManager::on_migration(const cloud::MigrationEvent& ev) {
+  if (ev.phase == cloud::MigrationPhase::kDeparting && ev.src == host_) {
+    // The VM is still resident here: retire any applied caps through the
+    // hypervisor. The cap is control state owned by THIS host's controller;
+    // the controller does not travel, so a cap that travelled would throttle
+    // the VM forever with nobody tracking it (the destination's controller
+    // starts from its own identification). Cleared directly — the lossy
+    // cap-command channel models a per-host control path, not the
+    // management-plane migration protocol.
+    const virt::Vm* vm = hv_.find(ev.vm_id);
+    if (vm != nullptr) {
+      if (vm->cgroup().blkio_throttle_bps() != hw::kNoCap) hv_.clear_blkio_throttle(ev.vm_id);
+      if (vm->cgroup().cpu_quota_cores() != hw::kNoCap) hv_.clear_vcpu_quota(ev.vm_id);
+    }
+    forget_vm(ev.vm_id);
+    monitor_.forget_vm(ev.vm_id);
+    identifier_.forget_suspect(ev.vm_id);
+  } else if (ev.phase == cloud::MigrationPhase::kArrived && ev.dst == host_) {
+    // Stale state from a PREVIOUS residency of this VM here: the monitor
+    // slot still holds the old cumulative-counter baseline (the counters
+    // kept growing on the other host — the first delta would be a spike)
+    // and the identifier's pair columns hold a correlation window against
+    // usage observed elsewhere. Retire both; they rebuild from the first
+    // post-arrival sample.
+    forget_vm(ev.vm_id);
+    monitor_.forget_vm(ev.vm_id);
+    identifier_.forget_suspect(ev.vm_id);
+  }
 }
 
 void NodeManager::attach_sink(sim::EmitSink& sink, const std::vector<std::string>& app_ids) {
@@ -60,7 +94,15 @@ void NodeManager::run_pending_escalation(sim::SimTime now) {
   (void)now;
   if (!escalation_pending_) return;
   escalation_pending_ = false;
-  cloud_.resolve_high_priority_collision(host_);
+  const std::uint64_t version = cloud_.registry_version();
+  const int moved = cloud_.resolve_high_priority_collision(host_);
+  if (moved == 0 && cloud_.registry_version() == version) {
+    // Nothing moved and nothing else changed placement either: the
+    // collision is unresolvable until the registry changes. Remember the
+    // version so local_step stops re-flagging the same dead end every
+    // quantum (any boot/migration/crash/restore re-arms it).
+    escalation_noop_version_ = version;
+  }
 }
 
 void NodeManager::refresh_view() {
@@ -134,8 +176,13 @@ void NodeManager::local_step(sim::SimTime now) {
   // both be protected by throttling third parties — the cloud manager must
   // separate them by migration. Migration mutates cross-host state, so it
   // is only flagged here and runs after the shard-sweep barrier; the next
-  // interval sees one group.
-  escalation_pending_ = cfg_.escalate_app_collisions && view_apps_.size() > 1;
+  // interval sees one group. view_apps_ holds only high-priority apps
+  // (refresh_view filters), so low-priority neighbours never trigger this.
+  // The no-op guard: when an escalation at this exact registry version
+  // already found nothing movable, don't re-flag until placement changes
+  // (one integer compare — this line stays on the AllocGate path).
+  escalation_pending_ = cfg_.escalate_app_collisions && view_apps_.size() > 1 &&
+                        view_version_ != escalation_noop_version_;
 
   bool any_io_contended = false;
   bool any_cpu_contended = false;

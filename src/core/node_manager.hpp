@@ -111,7 +111,9 @@ class NodeManager {
   /// history is kept — it is plot data, not control state. The VM's slots
   /// are recycled; a later VM can never see its predecessor's state because
   /// cloud-wide VM ids are never reused and recycled slots are constructed
-  /// fresh.
+  /// fresh. Monitor series of the dead VM linger unreachable (crashed VMs
+  /// never return); contrast the migration handoff below, which retires
+  /// them because a migrated VM CAN come back.
   void forget_vm(int vm_id);
 
   [[nodiscard]] const std::string& host_name() const { return host_; }
@@ -155,6 +157,17 @@ class NodeManager {
     std::vector<int> vm_ids;  ///< Registry (boot) order.
   };
 
+  /// Migration handoff (DESIGN.md §5j), registered with the cloud manager
+  /// in start(). On kDeparting from THIS host: retire the departing VM's
+  /// caps through the still-resident cgroup (the controller that owns them
+  /// does not travel), then drop controller/identification state
+  /// (forget_vm) plus its monitor slot and identifier pair columns. On
+  /// kArrived at THIS host: drop any stale monitor/identifier state from a
+  /// previous residency, so the first sample re-primes the cumulative
+  /// counter baseline instead of booking everything the VM did elsewhere
+  /// as one interval's delta spike.
+  void on_migration(const cloud::MigrationEvent& ev);
+
   /// Re-parse the host's registry records if the cloud registry changed.
   /// Groups are ordered by application *name* (the emission/iteration order
   /// the string-keyed maps used to give for free), suspects in registry
@@ -193,6 +206,12 @@ class NodeManager {
   bool control_enabled_ = true;
   bool started_ = false;
   bool escalation_pending_ = false;
+  /// Registry version at which an escalation ran and changed nothing —
+  /// the collision is unresolvable with the cloud as-is (no admissible
+  /// destination), so re-running the scan every quantum is pure overhead
+  /// (and allocates, violating the steady-state contract). Any registry
+  /// mutation bumps the version and re-arms escalation. 0 = never no-oped.
+  std::uint64_t escalation_noop_version_ = 0;
 
   // Per-application deviation signals, keyed by AppId.
   sim::SlotMap<sim::TimeSeries> io_signals_;

@@ -35,6 +35,8 @@ Cluster make_cluster(const ClusterParams& params) {
     c.hosts.push_back(cfg.name);
   }
 
+  if (params.migration.enabled()) c.cloud->set_migration_model(params.migration);
+
   virt::VmConfig shape;
   shape.vcpus = params.vm_vcpus;
   shape.priority = virt::Priority::kHigh;
@@ -43,8 +45,32 @@ Cluster make_cluster(const ClusterParams& params) {
       static_cast<std::size_t>(params.worker_host_limit) < worker_hosts.size()) {
     worker_hosts.resize(static_cast<std::size_t>(params.worker_host_limit));
   }
-  c.worker_vm_ids =
-      cloud::place_spread(*c.cloud, worker_hosts, params.workers, shape, params.app_id);
+  switch (params.placement) {
+    case Placement::kSpread:
+      c.worker_vm_ids =
+          cloud::place_spread(*c.cloud, worker_hosts, params.workers, shape, params.app_id);
+      break;
+    case Placement::kPacked: {
+      // Fill each host to its admission limit: whichever of cores or DRAM
+      // runs out first (the same bound CloudManager::host_has_capacity
+      // enforces on migration destinations).
+      const int by_cores = params.server.cpu.cores / std::max(1, shape.vcpus);
+      const int by_dram = static_cast<int>(params.server.dram / shape.memory);
+      const int per_host = std::max(1, std::min(by_cores, by_dram));
+      c.worker_vm_ids = cloud::place_packed(*c.cloud, worker_hosts, params.workers, per_host,
+                                            shape, params.app_id);
+      break;
+    }
+    case Placement::kRandom: {
+      // place_random names the VMs but does not set the app id (it places
+      // anonymous antagonists in the paper); workers need the grouping.
+      shape.app_id = params.app_id;
+      sim::Rng placement_rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+      c.worker_vm_ids = cloud::place_random(*c.cloud, worker_hosts, params.workers, shape,
+                                            params.app_id, placement_rng);
+      break;
+    }
+  }
 
   c.framework = std::make_unique<wl::ScaleOutFramework>(*c.engine, params.app_id);
   for (const cloud::VmRecord& r : c.cloud->all_vms()) {

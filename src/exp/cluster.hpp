@@ -19,6 +19,20 @@
 
 namespace perfcloud::exp {
 
+/// Cluster placement discipline for the worker VMs.
+enum class Placement {
+  /// Round-robin over the hosts (the paper's §IV-A virtual clusters).
+  kSpread,
+  /// Fill hosts in provisioning order, as many VMs per host as its cores
+  /// and DRAM admit — the consolidation pressure that makes high-priority
+  /// collisions (and thus §IV-D migration escalations) actually happen.
+  kPacked,
+  /// Uniformly random host per VM (the paper's §IV-C antagonist
+  /// distribution), drawn from a dedicated placement RNG seeded from
+  /// `seed` — never from the engine's stream.
+  kRandom,
+};
+
 struct ClusterParams {
   int hosts = 1;
   /// Worker VMs of the high-priority scale-out application, spread evenly
@@ -42,6 +56,11 @@ struct ClusterParams {
   /// bench/micro_balance (one hot shard-task, many quiescent hosts).
   /// 0 spreads over every host.
   int worker_host_limit = 0;
+  /// How the worker VMs land on the hosts (see Placement).
+  Placement placement = Placement::kSpread;
+  /// Live-migration cost model handed to the cloud manager. Default
+  /// disabled: migrations (escalations, tests) are instantaneous.
+  cloud::MigrationModel migration;
   double tick_dt = 0.1;          ///< Arbitration tick.
   double sched_period = 1.0;     ///< Framework scheduling period.
   std::string app_id = "hadoop";

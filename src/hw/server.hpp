@@ -25,6 +25,10 @@ struct ServerConfig {
   /// domain; 2 models the R630's dual-socket reality, where tenants only
   /// contend with same-socket neighbours (§IV-D future work).
   int sockets = 1;
+  /// Installed DRAM — the capacity side of VM admission (placement and
+  /// migration destinations must fit resident + inbound VM memory under
+  /// this; bandwidth lives in MemoryConfig). Paper's R630: 256 GB.
+  sim::Bytes dram = 256.0 * 1024 * 1024 * 1024;
 };
 
 /// One bare-metal host (the paper's Dell R630). The hypervisor presents the

@@ -95,8 +95,29 @@ const Vm& Hypervisor::require(int vm_id) const {
   return const_cast<Hypervisor*>(this)->require(vm_id);
 }
 
+void Hypervisor::begin_migration_in(int vm_id, double bytes_per_sec) {
+  if (bytes_per_sec <= 0.0) {
+    throw std::invalid_argument("migration bandwidth must be positive");
+  }
+  for (const MigrationInflow& f : migration_in_) {
+    if (f.vm_id == vm_id) {
+      throw std::logic_error("duplicate migration inflow for VM " + std::to_string(vm_id));
+    }
+  }
+  migration_in_.push_back(MigrationInflow{vm_id, bytes_per_sec});
+  note_activity();
+}
+
+void Hypervisor::end_migration_in(int vm_id) {
+  const auto removed =
+      std::erase_if(migration_in_, [&](const MigrationInflow& f) { return f.vm_id == vm_id; });
+  if (removed > 0) note_activity();
+}
+
 bool Hypervisor::is_quiescent(sim::SimTime now) const {
   if (quiescent_) return true;
+  // An incoming pre-copy stream keeps the disk busy every tick.
+  if (!migration_in_.empty()) return false;
   if (server_.disk_degradation() != 1.0) return false;
   for (const auto& vm : vms_) {
     if (vm->paused()) return false;
@@ -123,7 +144,7 @@ void Hypervisor::tick(sim::SimTime now, double dt) {
   if (idle_fastpath_enabled() && is_quiescent(now)) return;
 
   std::vector<hw::TenantDemand> demands;
-  demands.reserve(vms_.size());
+  demands.reserve(vms_.size() + migration_in_.size());
   for (const auto& vm : vms_) {
     hw::TenantDemand d{};
     if (!vm->idle(now)) {
@@ -137,6 +158,17 @@ void Hypervisor::tick(sim::SimTime now, double dt) {
     d.io_cap_bytes_per_sec = cg.blkio_throttle_bps();
     d.io_cap_iops = cg.blkio_throttle_iops();
     d.numa_node = vm->numa_node();
+    demands.push_back(d);
+  }
+
+  // Incoming pre-copy streams, after the resident VMs (positional jitter
+  // state stays attached to the same VM). Pages land as large sequential
+  // writes; the grants routed back to these slots are discarded below.
+  constexpr double kMigrationIoBlockBytes = 1.0 * 1024 * 1024;
+  for (const MigrationInflow& f : migration_in_) {
+    hw::TenantDemand d{};
+    d.io_bytes = f.bytes_per_sec * dt;
+    d.io_ops = d.io_bytes / kMigrationIoBlockBytes;
     demands.push_back(d);
   }
 

@@ -76,6 +76,20 @@ class Hypervisor {
     quiescent_ = false;
   }
 
+  // --- Live-migration inflows (destination side, DESIGN.md §5j) ---
+  /// While a VM's pre-copy is in flight, the destination host's block
+  /// device serves the page stream (received state landing in the image
+  /// store) as one extra tenant at `bytes_per_sec`. The flow contends in
+  /// arbitration like any VM — which is exactly how an incoming migration
+  /// inflates the neighbours' iowait — but receives no guest-visible
+  /// grants and is not rate-adaptive (the cost model fixes the copy
+  /// duration; congestion shows up as neighbour interference, not as a
+  /// longer copy). Throws on duplicate vm_id or non-positive bandwidth.
+  void begin_migration_in(int vm_id, double bytes_per_sec);
+  /// End the flow (migration finished or aborted); unknown id is a no-op.
+  void end_migration_in(int vm_id);
+  [[nodiscard]] std::size_t migration_inflow_count() const { return migration_in_.size(); }
+
   /// Fault hook (DiskDegrade), routed through the hypervisor so quiescence
   /// tracking sees it. 1.0 restores full throughput.
   void set_disk_degradation(double factor);
@@ -95,8 +109,17 @@ class Hypervisor {
   [[nodiscard]] const Vm& require(int vm_id) const;
   [[nodiscard]] int pick_numa_node(int vcpus) const;
 
+  struct MigrationInflow {
+    int vm_id = 0;
+    double bytes_per_sec = 0.0;
+  };
+
   hw::Server server_;
   std::vector<std::unique_ptr<Vm>> vms_;
+  /// Active incoming pre-copy streams, in begin order. Appended AFTER the
+  /// resident VMs' demands each tick so the hardware models' positional
+  /// jitter state stays attached to the same VM across a migration.
+  std::vector<MigrationInflow> migration_in_;
   std::uint64_t activity_epoch_ = 1;
   /// Cached "is_quiescent returned true"; cleared by note_activity. Only a
   /// true answer is cached — false must be recomputed because guests finish

@@ -102,5 +102,54 @@ TEST(AllocGate, SteadyStateQuantumPerformsZeroHeapAllocations) {
   EXPECT_EQ(after.frees - before.frees, 0u);
 }
 
+TEST(AllocGate, UnresolvableCollisionQuantumIsAllocationFree) {
+  // Two high-priority applications stuck on a single-host cloud: the
+  // escalation has nowhere to move anything. Without the no-op version gate
+  // the node manager would re-run the whole §IV-D scan — which builds its
+  // grouping map on the heap — every quantum forever; with it, the scan runs
+  // once, records the registry version, and the warmed steady state is
+  // allocation-free even with escalation enabled.
+  ASSERT_TRUE(sim::alloc_gauge_linked());
+
+  exp::ClusterParams p;
+  p.hosts = 1;
+  p.workers = 2;
+  p.seed = 43;
+  p.shards = 1;
+  exp::Cluster c = exp::make_cluster(p);
+  virt::VmConfig other;
+  other.priority = virt::Priority::kHigh;
+  other.app_id = "other-app";
+  c.cloud->boot_vm("host-0", other);
+  // Keep the host busy so every quantum takes the full pipeline (a
+  // quiescent host would skip escalation anyway and prove nothing).
+  exp::add_fio(c, "host-0", wl::FioRandomRead::Params{.duration_s = 10000.0});
+
+  PerfCloudConfig cfg;
+  cfg.escalate_app_collisions = true;
+  cfg.monitor_series_capacity = 32;
+  exp::enable_perfcloud(c, cfg, /*control=*/false);
+  exp::run_for(c, 100.0);
+
+  NodeManager& nm = c.node_manager(0);
+  sim::SimTime now = c.engine->now();
+  for (int i = 0; i < 2; ++i) {
+    now += 5.0;
+    nm.control_step(now);
+  }
+
+  const sim::AllocGaugeSnapshot before = sim::alloc_gauge_read();
+  constexpr int kQuanta = 8;
+  for (int i = 0; i < kQuanta; ++i) {
+    now += 5.0;
+    nm.control_step(now);
+  }
+  const sim::AllocGaugeSnapshot after = sim::alloc_gauge_read();
+
+  EXPECT_EQ(after.allocs - before.allocs, 0u)
+      << "escalation-armed steady state allocated: " << (after.allocs - before.allocs)
+      << " allocations over " << kQuanta << " quanta";
+}
+
 }  // namespace
 }  // namespace perfcloud::core
