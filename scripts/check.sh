@@ -37,6 +37,11 @@ PERFCLOUD_SHARDS=4 ctest --preset tsan -j "$(nproc)" "$@"
 # And the static claim discipline, via the scheduler/fast-path tests
 # (label "perf") which also drive full multi-host scenarios.
 PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ctest --preset tsan -L perf -j "$(nproc)"
+# The policy tests once more under TSan with the static discipline: the
+# policy's barrier hook folds every host's monitor/controller state on the
+# engine thread right after the parallel half, which is exactly the
+# boundary a racy shard handoff would corrupt.
+PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ctest --preset tsan -L policy -j "$(nproc)"
 
 echo "== shard + scheduler determinism gate =="
 # A multi-host figure bench must emit byte-identical stdout for any shard
@@ -96,6 +101,24 @@ cmake --build --preset release -j "$(nproc)" --target micro_migrate
 diff "$tmpdir/migrate_shards1.txt" "$tmpdir/migrate_shards4.txt"
 diff "$tmpdir/migrate_shards1.txt" "$tmpdir/migrate_shards4_static.txt"
 echo "micro_migrate: byte-identical output across shard counts and schedulers"
+
+echo "== migration-policy determinism gate =="
+# micro_policy folds cluster-wide state (every host's monitors, controllers,
+# deviation signals) each policy interval and issues live migrations from
+# the barrier phase; its stdout is pure simulation output, so the decision
+# layer may not change a single bit with the host sweeps actually parallel.
+# The binary also hard-fails internally if the scored run differs between
+# explicit shards 1 and 4.
+cmake --build --preset release -j "$(nproc)" --target micro_policy
+( cd "$tmpdir" && PERFCLOUD_SHARDS=1 "$OLDPWD/build-release/bench/micro_policy" \
+    > policy_shards1.txt )
+( cd "$tmpdir" && PERFCLOUD_SHARDS=4 "$OLDPWD/build-release/bench/micro_policy" \
+    > policy_shards4.txt )
+( cd "$tmpdir" && PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static \
+    "$OLDPWD/build-release/bench/micro_policy" > policy_shards4_static.txt )
+diff "$tmpdir/policy_shards1.txt" "$tmpdir/policy_shards4.txt"
+diff "$tmpdir/policy_shards1.txt" "$tmpdir/policy_shards4_static.txt"
+echo "micro_policy: byte-identical output across shard counts and schedulers"
 
 echo "== fault-plan determinism gate =="
 # A chaos run (host crash + blackout + disk degrade + cap-command loss +

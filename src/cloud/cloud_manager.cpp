@@ -127,7 +127,10 @@ void CloudManager::migrate_vm(int vm_id, const std::string& dst_host) {
   if (record == nullptr) {
     throw std::invalid_argument("unknown VM id " + std::to_string(vm_id));
   }
-  if (record->host == dst_host) return;
+  if (record->host == dst_host) {
+    throw std::invalid_argument("VM " + std::to_string(vm_id) + " is already on host " +
+                                dst_host + "; self-migration is a caller bug");
+  }
   if (migration_in_flight(vm_id)) {
     throw std::logic_error("VM " + std::to_string(vm_id) + " is already migrating");
   }
@@ -329,6 +332,12 @@ bool CloudManager::host_has_capacity(const Host& h, const virt::VmConfig& shape)
   return vcpus <= cfg.cpu.cores && memory <= cfg.dram;
 }
 
+bool CloudManager::has_capacity(const std::string& host, const virt::VmConfig& shape) const {
+  const Host* h = find_host(host);
+  if (h == nullptr) throw std::invalid_argument("unknown host " + host);
+  return h->up && host_has_capacity(*h, shape);
+}
+
 int CloudManager::resolve_high_priority_collision(const std::string& host_name) {
   // Group the host's high-priority VMs by application.
   std::map<std::string, std::vector<int>> groups;
@@ -392,14 +401,27 @@ int CloudManager::resolve_high_priority_collision(const std::string& host_name) 
     // total population, then provisioning order). Only move on strict
     // improvement — otherwise two node managers would ping-pong the VM
     // between equally-bad hosts — and only where the VM actually fits.
+    // With a destination scorer installed, the hard filters stay (up,
+    // strictly fewer conflicts, capacity) but the pick among survivors is
+    // the scorer's: load-aware / complementary ranking from the policy
+    // layer instead of the raw (conflict, population) heuristic.
     const Host* best = nullptr;
     std::size_t best_conflict = 0;
     std::size_t best_count = 0;
+    double best_score = 0.0;
     for (const Host& h : hosts_) {
       if (h.name == host_name || !h.up) continue;
       const std::size_t c = conflict(h.name);
       if (c >= here) continue;
       if (!host_has_capacity(h, vm->config())) continue;
+      if (scorer_ != nullptr) {
+        const double s = scorer_->score_destination(vm->config(), host_name, h.name);
+        if (best == nullptr || s > best_score) {
+          best = &h;
+          best_score = s;
+        }
+        continue;
+      }
       const std::size_t count = population(h.name);
       if (best == nullptr || c < best_conflict || (c == best_conflict && count < best_count)) {
         best = &h;
@@ -475,7 +497,7 @@ void CloudManager::register_host_pipeline(double period, sim::Engine::PeriodicFn
     throw std::invalid_argument("host pipelines must share one period; sweep runs at " +
                                 std::to_string(pipeline_period_) + " s");
   }
-  pipeline_sweep_->add_task(std::move(parallel_fn));
+  if (parallel_fn) pipeline_sweep_->add_task(std::move(parallel_fn));
   if (barrier_fn) pipeline_barriers_.push_back(std::move(barrier_fn));
 }
 

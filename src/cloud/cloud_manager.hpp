@@ -61,6 +61,23 @@ struct MigrationEvent {
   std::string dst;
 };
 
+/// Pluggable destination ranking for §IV-D escalations. When installed (the
+/// policy layer implements this, src/policy/), resolve_high_priority_collision
+/// keeps its own hard filters — host up, strictly fewer conflicting
+/// high-priority VMs, capacity-feasible — but picks among the surviving
+/// candidates by score (higher wins; exact ties fall back to provisioning
+/// order) instead of the built-in (conflict, population) tie-break. Called on
+/// the engine thread only.
+class DestinationScorer {
+ public:
+  virtual ~DestinationScorer() = default;
+  /// Score `dst_host` as a destination for a VM of the given shape currently
+  /// on `src_host`. Only invoked for hosts that passed the hard filters.
+  [[nodiscard]] virtual double score_destination(const virt::VmConfig& shape,
+                                                 const std::string& src_host,
+                                                 const std::string& dst_host) = 0;
+};
+
 class CloudManager {
  public:
   explicit CloudManager(sim::Engine& engine) : engine_(engine) {}
@@ -98,8 +115,11 @@ class CloudManager {
   /// Live-migrate a VM to another host (§IV-D: the cloud manager's
   /// complementary remedy when node managers report problems they cannot
   /// solve locally, e.g. two high-priority applications colocated). The
-  /// VM's cgroup counters and guest workload move with it. Throws on
-  /// unknown VM or host; migrating to the current host is a no-op.
+  /// VM's cgroup counters and guest workload move with it. Throws
+  /// std::invalid_argument on unknown VM or host, and on a migration to the
+  /// VM's CURRENT host — a self-migration is always a caller bug (it would
+  /// otherwise thread a pre-copy, a pause, and the full listener handoff
+  /// through state that never changes hosts).
   ///
   /// With the migration model disabled (default) the handoff is
   /// instantaneous. With it enabled, this only STARTS the migration: the
@@ -129,10 +149,23 @@ class CloudManager {
 
   /// Node-manager escalation (§IV-D): called when a host has more than one
   /// high-priority application. The manager moves the smaller application
-  /// group's VMs on that host to the least-populated other hosts. Returns
-  /// the number of VMs moved (0 when there is nowhere to move them or no
-  /// collision exists).
+  /// group's VMs on that host to the least-populated other hosts (or, with a
+  /// destination scorer installed, to the best-scored admissible hosts).
+  /// Returns the number of VMs moved (0 when there is nowhere to move them
+  /// or no collision exists).
   int resolve_high_priority_collision(const std::string& host_name);
+
+  /// Install (nullptr: remove) the pluggable destination ranking used by
+  /// resolve_high_priority_collision. The scorer must outlive the manager's
+  /// runs; call during setup.
+  void set_destination_scorer(DestinationScorer* scorer) { scorer_ = scorer; }
+
+  /// Public face of the migration admission check: would a VM of `shape`
+  /// fit on `host` given its residents plus every inbound in-flight
+  /// migration? The policy layer shares this exact math so a migration it
+  /// decides on can never be rejected by the mechanism. Throws on unknown
+  /// host; a down host has no capacity.
+  [[nodiscard]] bool has_capacity(const std::string& host, const virt::VmConfig& shape) const;
 
   // --- Nova-like queries (what the node manager fetches, §III-D.2) ---
   /// Bumped on every registry mutation (boot, migration, crash, restore).
@@ -169,7 +202,10 @@ class CloudManager {
   /// each firing runs every `parallel_fn` across the engine's shard pool —
   /// `parallel_fn` must be thread-confined to its host — then, after the
   /// barrier, every non-null `barrier_fn` sequentially in registration
-  /// order. Cross-host work (migration, escalation) belongs in barrier_fn.
+  /// order. Cross-host work (migration, escalation, the policy tick) belongs
+  /// in barrier_fn; a registration may pass a null `parallel_fn` to hook the
+  /// barrier phase only (the migration policy does — it has no per-host
+  /// parallel half).
   void register_host_pipeline(double period, sim::Engine::PeriodicFn parallel_fn,
                               sim::Engine::PeriodicFn barrier_fn = nullptr);
 
@@ -229,6 +265,7 @@ class CloudManager {
 
   sim::Engine& engine_;
   sim::Interner app_interner_;
+  DestinationScorer* scorer_ = nullptr;
   sim::EmitSink* sink_ = nullptr;
   sim::EmitSink::SourceId sink_source_ = 0;
   std::vector<Host> hosts_;

@@ -154,4 +154,9 @@ double PerformanceMonitor::observed_cpu_cores(int vm_id) const {
   return s == nullptr ? 0.0 : s->cpu_cores.value();
 }
 
+double PerformanceMonitor::observed_llc_rate(int vm_id) const {
+  const PerVm* s = vms_.find(vm_id);
+  return s == nullptr ? 0.0 : s->llc_rate.value();
+}
+
 }  // namespace perfcloud::core

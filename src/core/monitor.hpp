@@ -68,9 +68,12 @@ class PerformanceMonitor {
   [[nodiscard]] const sim::TimeSeries& llc_miss_series(int vm_id) const;
 
   /// Observation baselines for cap initialization ("the VM's observed CPU
-  /// usage or I/O throughput", §III-C); smoothed current values.
+  /// usage or I/O throughput", §III-C); smoothed current values. The LLC
+  /// miss rate is the third axis of the policy layer's usage vectors
+  /// (src/policy/ complementary-placement scoring).
   [[nodiscard]] double observed_io_bps(int vm_id) const;
   [[nodiscard]] double observed_cpu_cores(int vm_id) const;
+  [[nodiscard]] double observed_llc_rate(int vm_id) const;
 
   /// Migration handoff: drop every trace of a VM that left this host —
   /// counter baseline, EWMAs, series, latest sample. If the VM ever comes

@@ -130,6 +130,43 @@ class NodeManager {
     return cpu_first_identified_;
   }
 
+  // --- Policy-facing introspection (src/policy/, engine thread only) ---
+  // The ClusterView aggregator folds these into its per-host state every
+  // policy interval, post-barrier. All of them are allocation-free: the
+  // armed-but-idle policy tick is part of the zero-steady-state-allocation
+  // contract.
+  /// The node manager's parameter set (thresholds, floor fraction, interval).
+  [[nodiscard]] const PerfCloudConfig& config() const { return cfg_; }
+  /// Latest deviation-signal sample of one protected application on this
+  /// host; negative when the app has no samples here.
+  [[nodiscard]] double latest_io_deviation(AppId app) const {
+    const sim::TimeSeries* s = io_signals_.find(app);
+    return s == nullptr || s->empty() ? -1.0 : s->value(s->size() - 1);
+  }
+  [[nodiscard]] double latest_cpi_deviation(AppId app) const {
+    const sim::TimeSeries* s = cpi_signals_.find(app);
+    return s == nullptr || s->empty() ? -1.0 : s->value(s->size() - 1);
+  }
+  /// Visit the protected (high-priority) applications resident on this host
+  /// as of the last registry refresh, in app-name order: fn(AppId).
+  template <typename Fn>
+  void for_each_protected_app(Fn&& fn) const {
+    for (const AppGroup& g : view_apps_) fn(g.app);
+  }
+  /// Visit every live cap controller of one resource in ascending VM-id
+  /// order: fn(vm_id, normalized_cap, ever_decreased). A controller exists
+  /// only for an identified antagonist, so "capped" implies "identified";
+  /// ever_decreased distinguishes a cap actually driven down from the 1.0 a
+  /// fresh controller starts at.
+  template <typename Fn>
+  void for_each_io_cap(Fn&& fn) const {
+    visit_caps(io_controllers_, std::forward<Fn>(fn));
+  }
+  template <typename Fn>
+  void for_each_cpu_cap(Fn&& fn) const {
+    visit_caps(cpu_controllers_, std::forward<Fn>(fn));
+  }
+
   // --- Introspection for tests and figure benches (cold path) ---
   [[nodiscard]] PerformanceMonitor& monitor() { return monitor_; }
   /// Deviation-signal series of one high-priority application on this host.
@@ -184,6 +221,15 @@ class NodeManager {
   void run_resource_control(Resource res, bool contended, std::span<const int> antagonists,
                             sim::SimTime now);
   [[nodiscard]] sim::TimeSeries& signal(sim::SlotMap<sim::TimeSeries>& store, AppId app);
+
+  template <typename Fn>
+  static void visit_caps(const sim::SlotMap<CubicController>& controllers, Fn&& fn) {
+    for (int id = controllers.first_key(); id != sim::SlotMap<CubicController>::kEnd;
+         id = controllers.next_key(id)) {
+      const CubicController& ctrl = controllers.at(id);
+      fn(id, ctrl.cap(), ctrl.ever_decreased());
+    }
+  }
 
   struct SinkColumns {
     sim::EmitSink::SourceId io_dev = 0;

@@ -70,6 +70,14 @@ ChaosReport chaos_report(Cluster& cluster, const core::PerfCloudConfig& cfg,
     report.recall =
         static_cast<double>(true_positives) / static_cast<double>(true_antagonists.size());
   }
+
+  report.migrations_started = cluster.cloud->migrations_started();
+  report.migrations_completed = cluster.cloud->migrations_completed();
+  report.migrations_aborted = cluster.cloud->migrations_aborted();
+  if (cluster.policy != nullptr) {
+    report.policy_triggered = cluster.policy->triggered();
+    report.policy_migrated = cluster.policy->migrated();
+  }
   return report;
 }
 
@@ -86,6 +94,13 @@ void print(std::ostream& os, const ChaosReport& r) {
   for (const int id : r.identified) os << " vm-" << id;
   if (r.identified.empty()) os << " none";
   os << ")\n";
+  os << "migrations:              " << r.migrations_started << " started, "
+     << r.migrations_completed << " completed, " << r.migrations_aborted << " aborted";
+  if (r.policy_triggered > 0 || r.policy_migrated > 0) {
+    os << " (policy: " << r.policy_triggered << " triggered, " << r.policy_migrated
+       << " migrated)";
+  }
+  os << "\n";
 }
 
 }  // namespace perfcloud::exp

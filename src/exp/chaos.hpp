@@ -33,6 +33,14 @@ struct ChaosReport {
   /// Every VM id identified (first-identification at/after `since`), both
   /// resources, all hosts, sorted ascending.
   std::vector<int> identified;
+  // Placement churn over the whole run: cloud-level migration lifecycle
+  // counts (escalations, policy moves, faults aborting in-flight copies)
+  // plus the policy engine's own decision tally when a policy is armed.
+  long migrations_started = 0;
+  long migrations_completed = 0;
+  long migrations_aborted = 0;
+  long policy_triggered = 0;   ///< 0 unless cluster.policy is armed.
+  long policy_migrated = 0;
   RunSummary summary;  ///< Job-level outcome (JCTs, re-execution waste).
 };
 

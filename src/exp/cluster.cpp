@@ -95,6 +95,20 @@ void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool c
     nm->start();
     cluster.node_managers.push_back(std::move(nm));
   }
+  if (cluster.params.policy.has_value()) enable_policy(cluster, *cluster.params.policy);
+}
+
+void enable_policy(Cluster& cluster, const policy::PolicyParams& params) {
+  if (cluster.policy != nullptr) throw std::logic_error("migration policy already enabled");
+  if (cluster.node_managers.empty()) {
+    throw std::logic_error("enable_policy requires enable_perfcloud first");
+  }
+  std::vector<core::NodeManager*> nms;
+  nms.reserve(cluster.node_managers.size());
+  for (const auto& nm : cluster.node_managers) nms.push_back(nm.get());
+  cluster.policy = std::make_unique<policy::MigrationPolicy>(*cluster.cloud, std::move(nms),
+                                                             params);
+  cluster.policy->start();
 }
 
 void attach_sink(Cluster& cluster, EventSink& sink) {
@@ -103,6 +117,7 @@ void attach_sink(Cluster& cluster, EventSink& sink) {
   for (const auto& nm : cluster.node_managers) {
     nm->attach_sink(sink, {cluster.params.app_id});
   }
+  if (cluster.policy != nullptr) cluster.policy->set_emit_sink(&sink);
 }
 
 void attach_faults(Cluster& cluster, faults::FaultInjector& injector, EventSink* sink) {

@@ -13,6 +13,7 @@
 #include "core/node_manager.hpp"
 #include "exp/event_sink.hpp"
 #include "faults/fault_injector.hpp"
+#include "policy/migration_policy.hpp"
 #include "sim/engine.hpp"
 #include "workloads/antagonists.hpp"
 #include "workloads/framework.hpp"
@@ -71,6 +72,9 @@ struct ClusterParams {
   /// the hardware-heterogeneity stragglers PerfCloud cannot fix and
   /// speculative execution can.
   std::vector<double> host_speed_factors;
+  /// When set, enable_perfcloud also arms the cluster-wide migration policy
+  /// (src/policy/) with these parameters, after the node managers start.
+  std::optional<policy::PolicyParams> policy;
 };
 
 /// A built scenario. Everything hangs off the engine; run with
@@ -80,6 +84,8 @@ struct Cluster {
   std::unique_ptr<cloud::CloudManager> cloud;
   std::unique_ptr<wl::ScaleOutFramework> framework;
   std::vector<std::unique_ptr<core::NodeManager>> node_managers;
+  /// The armed migration policy (null unless enable_policy ran).
+  std::unique_ptr<policy::MigrationPolicy> policy;
   std::vector<int> worker_vm_ids;
   std::vector<std::string> hosts;
   ClusterParams params;
@@ -98,6 +104,14 @@ struct Cluster {
 /// Attach one node manager per host. `control` false gives monitoring-only
 /// node managers (the "default system" curves in Figs 3/4/9).
 void enable_perfcloud(Cluster& cluster, const core::PerfCloudConfig& cfg, bool control = true);
+
+/// Arm the cluster-wide migration policy (DESIGN.md §5k): builds the
+/// MigrationPolicy over the cluster's node managers and starts it — it
+/// joins the shared host pipeline's barrier phase, subscribes to migration
+/// lifecycle events, and becomes the cloud's escalation destination scorer.
+/// Call after enable_perfcloud (it needs the node managers); called
+/// automatically by enable_perfcloud when ClusterParams::policy is set.
+void enable_policy(Cluster& cluster, const policy::PolicyParams& params);
 
 /// Wire `sink` into the cluster: the engine drains it after every sharded
 /// barrier and flushes it when a run returns, the cloud manager reports

@@ -40,11 +40,17 @@ TEST(Migration, MovesVmBetweenHosts) {
   EXPECT_EQ(records[0].id, vm.id());
 }
 
-TEST(Migration, ToSameHostIsNoop) {
+TEST(Migration, ToSameHostIsHardError) {
   TwoHostRig rig;
   const virt::Vm& vm = rig.cloud.boot_vm("h0", virt::VmConfig{});
-  rig.cloud.migrate_vm(vm.id(), "h0");
+  // A self-migration is always a caller bug; it must fail loudly instead of
+  // silently threading a no-op through the listener handoff.
+  EXPECT_THROW(rig.cloud.migrate_vm(vm.id(), "h0"), std::invalid_argument);
   EXPECT_NE(rig.cloud.host("h0").find(vm.id()), nullptr);
+  // The VM stays fully migratable afterwards.
+  rig.cloud.migrate_vm(vm.id(), "h1");
+  EXPECT_NE(rig.cloud.host("h1").find(vm.id()), nullptr);
+  EXPECT_THROW(rig.cloud.migrate_vm(vm.id(), "h1"), std::invalid_argument);
 }
 
 TEST(Migration, UnknownVmOrHostThrows) {
