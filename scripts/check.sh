@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Full check: the test suite under ASan+UBSan (plus sharded perf-label
 # sweeps), the same suite under TSan with the host shard sweeps actually
-# parallel (PERFCLOUD_SHARDS=4, both claim disciplines), the
-# zero-steady-state-allocation gate on the release build, and determinism
-# gates diffing real bench output across shard counts, schedulers, and
-# emission modes.
+# parallel (PERFCLOUD_SHARDS=4, both claim disciplines, wheel time core
+# pinned), the zero-steady-state-allocation gate on the release build, and
+# determinism gates diffing real bench output across shard counts,
+# schedulers, emission modes, and time-queue backends (wheel vs heap).
 # Usage: scripts/check.sh [extra ctest args...]
 set -euo pipefail
 
@@ -42,6 +42,12 @@ PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ctest --preset tsan -L perf -j "$(npro
 # engine thread right after the parallel half, which is exactly the
 # boundary a racy shard handoff would corrupt.
 PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ctest --preset tsan -L policy -j "$(nproc)"
+# The perf-label tests with the timer-wheel time core pinned explicitly
+# (it is the default, but the pin keeps this sweep meaningful if the
+# default ever changes): the wheel feeds the sharded periodics that every
+# thread handoff above hangs off, so TSan must see the wheel-driven
+# schedule, not just the heap reference.
+PERFCLOUD_SHARDS=4 PERFCLOUD_TIMEQ=wheel ctest --preset tsan -L perf -j "$(nproc)"
 
 echo "== shard + scheduler determinism gate =="
 # A multi-host figure bench must emit byte-identical stdout for any shard
@@ -58,7 +64,13 @@ for variant in "4 ws" "1 static" "4 static"; do
     ./build-release/bench/ext_heterogeneous > "$tmpdir/shards$n-$sched.txt" 2> /dev/null
   diff "$tmpdir/shards1.txt" "$tmpdir/shards$n-$sched.txt"
 done
-echo "ext_heterogeneous: byte-identical output across shard counts and schedulers"
+# The heap time-queue backend against the wheel-driven baseline (the wheel
+# is the default, so shards1.txt above already used it): swapping the time
+# core may change wall-clock only, never an output byte.
+PERFCLOUD_TIMEQ=heap ./build-release/bench/ext_heterogeneous \
+  > "$tmpdir/shards1-heap.txt" 2> /dev/null
+diff "$tmpdir/shards1.txt" "$tmpdir/shards1-heap.txt"
+echo "ext_heterogeneous: byte-identical output across shard counts, schedulers, and time queues"
 
 echo "== zero-steady-state-allocation gate =="
 # The release build (no sanitizer allocator inflating counts) runs the
@@ -127,7 +139,7 @@ echo "== fault-plan determinism gate =="
 # Faults may only change what the simulation does, never whether it is
 # deterministic.
 cmake --build --preset release -j "$(nproc)" --target chaos_resilience
-for mode in s1-async s4-async s1-sync s4-static-async; do
+for mode in s1-async s4-async s1-sync s4-static-async s1-heap-async; do
   mkdir -p "$tmpdir/chaos-$mode"
 done
 PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
@@ -140,9 +152,16 @@ PERFCLOUD_SHARDS=1 ./build-release/examples/chaos_resilience \
 # must be invisible even when hosts crash mid-run.
 PERFCLOUD_SHARDS=4 PERFCLOUD_SCHED=static ./build-release/examples/chaos_resilience \
   "$tmpdir/chaos-s4-static-async" async > "$tmpdir/chaos-s4-static-async/stdout.txt"
+# The heap time-queue backend under the full chaos plan: fault timers,
+# crash cleanups, and blackout windows are all scheduled through the time
+# core, so this is the harshest place for the wheel (the default above)
+# and the heap to disagree by even one bit.
+PERFCLOUD_SHARDS=1 PERFCLOUD_TIMEQ=heap ./build-release/examples/chaos_resilience \
+  "$tmpdir/chaos-s1-heap-async" async > "$tmpdir/chaos-s1-heap-async/stdout.txt"
 for f in stdout.txt chaos_trace.csv chaos_events.jsonl; do
   diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s4-async/$f"
   diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s1-sync/$f"
   diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s4-static-async/$f"
+  diff "$tmpdir/chaos-s1-async/$f" "$tmpdir/chaos-s1-heap-async/$f"
 done
-echo "chaos_resilience: byte-identical across shard counts, schedulers, and emission modes"
+echo "chaos_resilience: byte-identical across shard counts, schedulers, emission modes, and time queues"

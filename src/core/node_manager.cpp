@@ -67,6 +67,10 @@ void NodeManager::on_migration(const cloud::MigrationEvent& ev) {
 void NodeManager::attach_sink(sim::EmitSink& sink, const std::vector<std::string>& app_ids) {
   sink_ = &sink;
   sink_source_ = sink.add_event_source(host_);
+  ctr_intervals_ = sink.add_counter(sink_source_, "control_intervals");
+  ctr_io_ident_ = sink.add_counter(sink_source_, "io_antagonist_identifications");
+  ctr_cpu_ident_ = sink.add_counter(sink_source_, "cpu_antagonist_identifications");
+  ctr_cap_dropped_ = sink.add_counter(sink_source_, "cap_commands_dropped");
   for (const std::string& app : app_ids) {
     const AppId id = cloud_.app_interner().intern(app);
     sink_columns_.try_emplace(
@@ -163,7 +167,7 @@ bool NodeManager::try_quiescent_step(sim::SimTime now) {
   escalation_pending_ = false;
   io_scores_.clear();
   cpu_scores_.clear();
-  if (sink_ != nullptr) sink_->bump_counter(sink_source_, "control_intervals");
+  if (sink_ != nullptr) sink_->bump_counter_id(ctr_intervals_);
   return true;
 }
 
@@ -194,13 +198,32 @@ void NodeManager::local_step(sim::SimTime now) {
   sim::Arena& arena = sim::scratch_arena();
   const sim::ArenaScope scratch(arena);
 
+  // The suspect signal lists are the same for every application group (they
+  // depend only on the registry's suspect set), so gather them once per
+  // quantum, above the group loop. Nothing inside the loop mutates the
+  // monitor, so the series pointers stay valid throughout.
+  sim::ArenaVec<const sim::TimeSeries*> suspect_io(arena);
+  sim::ArenaVec<const sim::TimeSeries*> suspect_llc(arena);
+  suspect_io.resize(view_suspects_.size());
+  suspect_llc.resize(view_suspects_.size());
+  monitor_.series_batch({view_suspects_.data(), view_suspects_.size()}, suspect_io.data(),
+                        suspect_llc.data());
+  sim::ArenaVec<SuspectSignal> io_suspects(arena);
+  sim::ArenaVec<SuspectSignal> cpu_suspects(arena);
+  io_suspects.reserve(view_suspects_.size());
+  cpu_suspects.reserve(view_suspects_.size());
+  for (std::size_t i = 0; i < view_suspects_.size(); ++i) {
+    io_suspects.push_back(SuspectSignal{view_suspects_[i], suspect_io[i]});
+    cpu_suspects.push_back(SuspectSignal{view_suspects_[i], suspect_llc[i]});
+  }
+
   for (const AppGroup& g : view_apps_) {
     // Per-app scratch rewinds before the next group runs, so the arena's
     // high-water mark scales with the largest group, not the sum.
     const sim::ArenaScope app_scratch(arena);
     sim::ArenaVec<const VmSample*> samples(arena);
-    samples.reserve(g.vm_ids.size());
-    for (int id : g.vm_ids) samples.push_back(monitor_.latest(id));
+    samples.resize(g.vm_ids.size());
+    monitor_.latest_batch({g.vm_ids.data(), g.vm_ids.size()}, samples.data());
     const DetectionResult det = detector_.evaluate({samples.data(), samples.size()});
 
     sim::TimeSeries& io_sig = signal(io_signals_, g.app);
@@ -217,15 +240,6 @@ void NodeManager::local_step(sim::SimTime now) {
     any_io_contended |= det.io_contended;
     any_cpu_contended |= det.cpu_contended;
 
-    // Correlate the victim signal with every suspect's usage signal.
-    sim::ArenaVec<SuspectSignal> io_suspects(arena);
-    sim::ArenaVec<SuspectSignal> cpu_suspects(arena);
-    io_suspects.reserve(view_suspects_.size());
-    cpu_suspects.reserve(view_suspects_.size());
-    for (int id : view_suspects_) {
-      io_suspects.push_back(SuspectSignal{id, &monitor_.io_throughput_series(id)});
-      cpu_suspects.push_back(SuspectSignal{id, &monitor_.llc_miss_series(id)});
-    }
     // Record an identification timestamp; emit a report event only when the
     // suspect was not already identified within the memory horizon, so the
     // event stream marks identification *episodes*, not every interval of a
@@ -238,7 +252,8 @@ void NodeManager::local_step(sim::SimTime now) {
     // "idle"; the node manager can, because it owns the monitor.
     const auto record_identification = [&](sim::SlotMap<sim::SimTime>& ids,
                                            std::map<int, sim::SimTime>& first,
-                                           const SuspectScore& s, const char* kind) {
+                                           const SuspectScore& s, const char* kind,
+                                           sim::EmitSink::CounterId ctr) {
       first.try_emplace(s.vm_id, now);
       const auto [stamp, inserted] = ids.try_emplace(s.vm_id, now);
       const bool fresh = inserted || now - *stamp > cfg_.identification_memory_s;
@@ -246,7 +261,7 @@ void NodeManager::local_step(sim::SimTime now) {
       if (fresh && sink_ != nullptr) {
         sink_->emit_event(sink_source_, now, kind + std::string(" vm=") + std::to_string(s.vm_id),
                           s.correlation);
-        sink_->bump_counter(sink_source_, std::string(kind) + "_identifications");
+        sink_->bump_counter_id(ctr);
       }
     };
     // Victim keys 2*app / 2*app+1: stable per deviation signal for the run's
@@ -257,7 +272,8 @@ void NodeManager::local_step(sim::SimTime now) {
     for (std::size_t i = io_start; i < io_scores_.size(); ++i) {
       const SuspectScore& s = io_scores_[i];
       if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
-        record_identification(io_identified_at_, io_first_identified_, s, "io_antagonist");
+        record_identification(io_identified_at_, io_first_identified_, s, "io_antagonist",
+                              ctr_io_ident_);
       }
     }
     const std::size_t cpu_start = cpu_scores_.size();
@@ -266,11 +282,12 @@ void NodeManager::local_step(sim::SimTime now) {
     for (std::size_t i = cpu_start; i < cpu_scores_.size(); ++i) {
       const SuspectScore& s = cpu_scores_[i];
       if (s.antagonist && !monitor_.blacked_out(s.vm_id)) {
-        record_identification(cpu_identified_at_, cpu_first_identified_, s, "cpu_antagonist");
+        record_identification(cpu_identified_at_, cpu_first_identified_, s, "cpu_antagonist",
+                              ctr_cpu_ident_);
       }
     }
   }
-  if (sink_ != nullptr) sink_->bump_counter(sink_source_, "control_intervals");
+  if (sink_ != nullptr) sink_->bump_counter_id(ctr_intervals_);
 
   // A suspect stays identified for a while after its correlation peak: the
   // strongest evidence appears at the antagonist's arrival, which may lead
@@ -328,7 +345,7 @@ void NodeManager::run_resource_control(Resource res, bool contended,
   const auto actuate = [&](auto&& fn) {
     if (cap_loss_active_ && cap_loss_rng_.bernoulli(cap_loss_p_)) {
       ++cap_commands_dropped_;
-      if (sink_ != nullptr) sink_->bump_counter(sink_source_, "cap_commands_dropped");
+      if (sink_ != nullptr) sink_->bump_counter_id(ctr_cap_dropped_);
       return;
     }
     fn();

@@ -18,7 +18,8 @@ virt::Vm& Cluster::vm(int vm_id) {
 Cluster make_cluster(const ClusterParams& params) {
   Cluster c;
   c.params = params;
-  c.engine = std::make_unique<sim::Engine>(params.seed);
+  c.engine = std::make_unique<sim::Engine>(
+      params.seed, params.timeq.value_or(sim::time_queue_from_env()));
   if (params.shards > 0) c.engine->set_shards(params.shards);
   if (params.schedule.has_value()) c.engine->set_schedule(*params.schedule);
   c.cloud = std::make_unique<cloud::CloudManager>(*c.engine);

@@ -52,6 +52,10 @@ struct ClusterParams {
   /// default (PERFCLOUD_SCHED, work-stealing when unset). Like `shards`,
   /// results are byte-identical either way.
   std::optional<sim::ShardSchedule> schedule;
+  /// Time-core backend (event queue + periodic re-arming). Unset keeps the
+  /// engine's default (PERFCLOUD_TIMEQ, wheel when unset). Like `shards`,
+  /// results are byte-identical either way.
+  std::optional<sim::TimeQueueKind> timeq;
   /// When > 0, workers are spread over only the first `worker_host_limit`
   /// hosts, leaving the rest empty — the deliberately skewed clusters of
   /// bench/micro_balance (one hot shard-task, many quiescent hosts).

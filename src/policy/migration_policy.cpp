@@ -39,7 +39,12 @@ MigrationPolicy::MigrationPolicy(cloud::CloudManager& cloud,
 
 void MigrationPolicy::set_emit_sink(sim::EmitSink* sink) {
   sink_ = sink;
-  if (sink_ != nullptr) source_ = sink_->add_event_source("policy");
+  if (sink_ != nullptr) {
+    source_ = sink_->add_event_source("policy");
+    // The per-interval heartbeat is the policy layer's only hot counter;
+    // the suppression/outcome counters below fire on episodes, not ticks.
+    ctr_intervals_ = sink_->add_counter(source_, "policy_intervals");
+  }
 }
 
 void MigrationPolicy::start() {
@@ -82,7 +87,7 @@ void MigrationPolicy::emit(sim::SimTime t, std::string kind, double value) {
 
 void MigrationPolicy::step(sim::SimTime now) {
   view_.refresh(now);
-  if (sink_ != nullptr) sink_->bump_counter(source_, "policy_intervals");
+  if (sink_ != nullptr) sink_->bump_counter_id(ctr_intervals_);
   for (std::size_t i = 0; i < view_.host_count(); ++i) {
     const HostView& h = view_.host(i);
     if (!h.up) continue;

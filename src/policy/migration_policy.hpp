@@ -138,6 +138,9 @@ class MigrationPolicy final : public cloud::DestinationScorer {
   ClusterView view_;
   sim::EmitSink* sink_ = nullptr;
   sim::EmitSink::SourceId source_ = 0;
+  /// Slot-keyed per-interval counter (see set_emit_sink): the armed-but-idle
+  /// policy tick bumps it without any string lookup.
+  sim::EmitSink::CounterId ctr_intervals_ = 0;
   sim::SlotMap<VmState> vm_state_;
   /// Last migration activity touching each host (seconds; by host index).
   std::vector<double> host_last_migration_s_;

@@ -106,6 +106,14 @@ class ArenaVec {
     if (n > capacity_) grow_to(n);
   }
 
+  /// Set the size to `n`, value-initializing any new elements — the
+  /// out-buffer shape for batch fills (monitor latest_batch/series_batch).
+  void resize(std::size_t n) {
+    reserve(n);
+    for (std::size_t i = size_; i < n; ++i) data_[i] = T{};
+    size_ = n;
+  }
+
   [[nodiscard]] T* data() { return data_; }
   [[nodiscard]] const T* data() const { return data_; }
   [[nodiscard]] std::size_t size() const { return size_; }

@@ -23,8 +23,12 @@ constexpr double kCostAlpha = 0.25;
 
 }  // namespace
 
-Engine::Engine(std::uint64_t seed)
-    : shards_(shards_from_env()), schedule_(schedule_from_env()), rng_(seed) {}
+Engine::Engine(std::uint64_t seed, TimeQueueKind timeq)
+    : timeq_(timeq),
+      queue_(timeq),
+      shards_(shards_from_env()),
+      schedule_(schedule_from_env()),
+      rng_(seed) {}
 
 unsigned Engine::shards_from_env() {
   const char* env = std::getenv("PERFCLOUD_SHARDS");
@@ -91,7 +95,26 @@ void Engine::every(double period, PeriodicFn fn, SimTime start) {
   }
   const SimTime first = start >= now_ ? start : now_;
   periodics_.push_back(Periodic{period, std::move(fn), first});
-  due_.push(DueEntry{first, periodics_.size() - 1});
+  push_due(first, periodics_.size() - 1);
+}
+
+void Engine::push_due(SimTime next, std::size_t index) {
+  if (timeq_ == TimeQueueKind::kWheel) {
+    // Registration index as both key and payload: unique per outstanding
+    // entry and exactly the heap's (next, index) tie-break, so batches of
+    // simultaneous periodics fire in the same order under either backend.
+    periodic_due_.insert(next.seconds(), index, index);
+  } else {
+    due_.push(DueEntry{next, index});
+  }
+}
+
+SimTime Engine::next_periodic_time() const {
+  if (timeq_ == TimeQueueKind::kWheel) {
+    const TimerWheel::Entry* e = periodic_due_.peek();
+    return e == nullptr ? SimTime::infinity() : SimTime(e->t);
+  }
+  return due_.empty() ? SimTime::infinity() : due_.top().next;
 }
 
 ShardedPeriodic& Engine::every_sharded(double period, SimTime start) {
@@ -172,8 +195,22 @@ void Engine::run_shard_tasks(ShardedPeriodic& sp, SimTime now) {
 void Engine::fire_due_periodics(SimTime t) {
   // Fire periodics in (time, registration-index) order until none is due at
   // or before t. A periodic callback may register further periodics; `every`
-  // pushes their heap node, and they start no earlier than `now_`, so they
+  // pushes their due node, and they start no earlier than `now_`, so they
   // join this batch in the correct order if due.
+  if (timeq_ == TimeQueueKind::kWheel) {
+    TimerWheel::Entry e;
+    while (true) {
+      const TimerWheel::Entry* head = periodic_due_.peek();
+      if (head == nullptr || SimTime(head->t) > t) return;
+      periodic_due_.pop(e);
+      now_ = SimTime(e.t);
+      Periodic& p = periodics_[e.payload];
+      p.next = p.next + p.period;
+      periodic_due_.insert(p.next.seconds(), e.payload, e.payload);
+      p.fn(now_);
+      if (stopped_) return;
+    }
+  }
   while (!due_.empty() && due_.top().next <= t) {
     const DueEntry e = due_.top();
     due_.pop();

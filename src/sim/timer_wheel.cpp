@@ -1,0 +1,140 @@
+// Cold paths of the hierarchical timer wheel: construction, the cascade
+// (advance_to), the cached-minimum rebuild (refresh_next), and test
+// introspection. The per-firing path lives inline in the header.
+#include "sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace perfcloud::sim {
+
+TimerWheel::TimerWheel(double tick_seconds)
+    : tick_s_(tick_seconds), inv_tick_s_(1.0 / tick_seconds) {
+  assert(tick_seconds > 0.0);
+  bucket_head_.fill(kNil);
+}
+
+void TimerWheel::advance_to(std::uint64_t tick) {
+  assert(tick >= cursor_);
+  cursor_ = tick;
+  // Top-down: entries relocated out of level k have remaining delta under
+  // level k's own span, so they land strictly below — where the lower
+  // levels' cascades (and ready_) pick them up in this same pass.
+  //
+  // Due entries (delta 0) are appended to ready_ raw and sorted once at
+  // the end: advance_to only runs while ready_ holds no live entries (a
+  // live ready entry would have beaten any linked/overflow winner), so one
+  // bulk sort replaces batch-many sorted insertions — and back-of-vector
+  // pops replace binary-heap sift-downs on the drain side.
+  bool ready_grew = false;
+  for (int level = kLevels - 1; level >= 0; --level) {
+    const std::uint64_t slot = (tick >> (kSlotBits * level)) & kSlotMask;
+    const std::uint32_t b = static_cast<std::uint32_t>(level) *
+                                static_cast<std::uint32_t>(kSlots) +
+                            static_cast<std::uint32_t>(slot);
+    std::uint32_t id = bucket_head_[b];
+    if (id == kNil) continue;
+    bucket_head_[b] = kNil;
+    occupied_[static_cast<std::size_t>(level)] &= ~(std::uint64_t{1} << slot);
+    while (id != kNil) {
+      Timer& tm = timers_[id];
+      const std::uint32_t next = tm.next;
+      if (tm.state == State::kErased) {
+        // A cancelled node that waited, threaded in place, for its bucket
+        // to cascade: sweep it back to the free list.
+        release(id);
+      } else if (const std::uint64_t ntick = tick_of(tm.t); ntick <= cursor_) {
+        tm.state = State::kReady;
+        ready_.push_back(HeapEntry{tm.t, tm.key, id, tm.gen});
+        ready_grew = true;
+      } else {
+        // Cascaded deltas only shrink, so a relocation never reaches the
+        // overflow heap — it relinks at a strictly lower level.
+        place(id, ntick);
+      }
+      id = next;
+    }
+  }
+  if (ready_grew) std::sort(ready_.begin(), ready_.end(), HeapLater{});
+}
+
+bool TimerWheel::refresh_next() {
+  next_valid_ = false;
+  next_id_ = kNil;
+  drop_stale_ready();
+  drop_stale_overflow();
+
+  // Cascade until the next tick's batch sits in ready_ (or only the
+  // overflow heap holds entries). Each iteration detaches at least one
+  // occupied bucket and relocated entries descend strictly, so an entry is
+  // touched at most kLevels times over its whole life: amortized O(1) per
+  // pop, and — unlike scanning the winning bucket for its minimum — each
+  // touch does work the eventual pop needs anyway.
+  while (ready_.empty()) {
+    // Next cascade moment per level: the first occupied slot in circular
+    // order from the cursor's position cascades when the cursor's level
+    // digit reaches it. A level never holds entries beyond its whole span,
+    // so slots never alias two tick windows and a same-digit slot (offset
+    // 0) is a full wrap ahead, never due now. Advancing to the earliest
+    // moment skips no deadline: every entry in that slot has its tick in
+    // the window starting there.
+    std::uint64_t best = kFarTick;
+    for (int level = 0; level < kLevels; ++level) {
+      const std::uint64_t word = occupied_[static_cast<std::size_t>(level)];
+      if (word == 0) continue;
+      const int shift = kSlotBits * level;
+      const std::uint64_t pos = (cursor_ >> shift) & kSlotMask;
+      const std::uint64_t rotated = std::rotr(word, static_cast<int>(pos));
+      std::uint64_t off = static_cast<std::uint64_t>(std::countr_zero(rotated));
+      if (off == 0) off = kSlots;
+      const std::uint64_t moment = ((cursor_ >> shift) + off) << shift;
+      best = std::min(best, moment);
+    }
+    if (!overflow_.empty()) {
+      // An overflow entry's tick can undercut the wheel's next moment (the
+      // cursor advanced since it was parked; it is never relocated). If the
+      // overflow front is due first, jump the cursor to it — post-jump
+      // inserts then measure their delta from there — and let the final
+      // compare below pick it up.
+      const std::uint64_t otick = tick_of(timers_[overflow_.front().id].t);
+      const std::uint64_t ot = otick == kFarTick ? kFarTick : std::max(cursor_, otick);
+      if (ot <= best) {
+        // Never advance to kFarTick itself: it marks non-finite deadlines,
+        // not a position, and jumping there would strand every later
+        // finite insert at delta 0.
+        if (otick != kFarTick) advance_to(ot);
+        break;
+      }
+    }
+    if (best == kFarTick) break;  // wheel and overflow both empty
+    advance_to(best);
+  }
+
+  const HeapEntry* win = ready_.empty() ? nullptr : &ready_.back();
+  if (!overflow_.empty()) {
+    const HeapEntry& o = overflow_.front();
+    if (win == nullptr || o.t < win->t || (o.t == win->t && o.key < win->key)) win = &o;
+  }
+  if (win == nullptr) return false;
+  next_ = Entry{win->t, win->key, timers_[win->id].payload};
+  next_id_ = win->id;
+  next_valid_ = true;
+  return true;
+}
+
+int TimerWheel::locate(Handle h) const {
+  if (!h.valid() || h.id >= timers_.size()) return kDead;
+  const Timer& tm = timers_[h.id];
+  if (tm.state == State::kFree || tm.state == State::kErased || tm.gen != h.gen) return kDead;
+  switch (tm.state) {
+    case State::kReady:
+      return kInReady;
+    case State::kOverflow:
+      return kInOverflow;
+    default:
+      return static_cast<int>(tm.bucket >> kSlotBits);
+  }
+}
+
+}  // namespace perfcloud::sim

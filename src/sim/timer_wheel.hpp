@@ -1,0 +1,396 @@
+// Hierarchical timer wheel: the O(1) time core behind the event queue and
+// the engine's periodic re-arming (DESIGN.md §5l).
+//
+// Entries are totally ordered by (time, key); `key` is the caller's
+// tie-break token — the event queue passes its insertion sequence number,
+// the engine passes the periodic's registration index — so the wheel
+// reproduces the min-heap backend's stable FIFO order for simultaneous
+// deadlines bit for bit. Keys must be unique among pending entries.
+//
+// Layout: kLevels levels of kSlots buckets each. Level 0 buckets single
+// ticks (tick_seconds per slot); each higher level covers kSlots times the
+// span of the one below, so the wheel spans kSlots^kLevels ticks from the
+// cursor. Buckets are intrusive singly-linked lists over a slab of
+// generation-tagged timer nodes — linking touches only the new node and
+// the bucket-head array, never the previous head's cache line, which
+// matters when the slab outgrows L2. Erasure is O(1) and lazy everywhere:
+// a linked node is marked dead in place and swept (released) when its
+// bucket cascades; heap-resident nodes release immediately and their heap
+// entries go stale. One occupancy bitmap per level. Entries due at the
+// cursor's tick live in a small vector (`ready_`) sorted descending by
+// (t, key) and popped from the back — the tick groups them, one bulk sort
+// per cascade orders within the tick. Deadlines beyond the top level's
+// span (or non-finite) wait in an overflow min-heap and never cascade.
+//
+// Advancing: the cursor jumps straight to the next pending tick (found via
+// the bitmaps, no empty-slot stepping); the slot containing that tick at
+// each upper level cascades top-down, and relocated entries always land
+// strictly below their old level because their remaining delta is under the
+// level's span. The steady state allocates nothing: the slab and both heap
+// vectors reuse their capacity, and a fire-then-rearm cycle recycles the
+// winner's slab node via the free list.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace perfcloud::sim {
+
+class TimerWheel {
+ public:
+  /// Names a pending entry for O(1) cancellation. Slab nodes are recycled,
+  /// but recycling bumps the generation, so a stale handle can never erase
+  /// a later entry that reuses the node.
+  struct Handle {
+    std::uint32_t id = 0xffffffffu;
+    std::uint32_t gen = 0;
+    [[nodiscard]] bool valid() const { return id != 0xffffffffu; }
+  };
+
+  /// One pending deadline, as returned by peek()/pop().
+  struct Entry {
+    double t = 0.0;
+    std::uint64_t key = 0;
+    std::uint64_t payload = 0;
+  };
+
+  /// Default bucket width: a twentieth of the 1 s control quantum, fine
+  /// enough that the engine's 0.1 s arbitration ticks land in distinct
+  /// buckets (ordering never depends on it — only bucketing does).
+  static constexpr double kDefaultTickSeconds = 0.05;
+
+  explicit TimerWheel(double tick_seconds = kDefaultTickSeconds);
+
+  /// Insert a deadline. `key` must be unique among pending entries; it is
+  /// the FIFO tie-break for equal times. O(1).
+  Handle insert(double t, std::uint64_t key, std::uint64_t payload);
+
+  /// Erase a pending entry. Returns false for already-fired, already-erased,
+  /// or stale handles. O(1) and lazy: linked entries are marked dead in
+  /// place (their slab node is swept when the bucket cascades), heap-
+  /// resident entries release now and their heap entries go stale.
+  bool erase(Handle h);
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Earliest pending entry by (t, key); nullptr when empty. The pointer is
+  /// valid until the next insert/erase/pop. Not const: the lookup maintains
+  /// the cached minimum and drops lazily-erased heap entries.
+  [[nodiscard]] const Entry* peek();
+
+  /// Pop the earliest entry into `out`; false when empty.
+  bool pop(Entry& out);
+
+  // --- Introspection (tests/debug) ---
+  /// Where a live entry currently resides: 0..kLevels-1 = wheel level,
+  /// kInReady = current-tick heap, kInOverflow = beyond-horizon heap,
+  /// kDead = fired/erased/stale handle.
+  static constexpr int kInReady = -1;
+  static constexpr int kInOverflow = -2;
+  static constexpr int kDead = -3;
+  [[nodiscard]] int locate(Handle h) const;
+  [[nodiscard]] std::uint64_t cursor_tick() const { return cursor_; }
+  [[nodiscard]] std::uint64_t tick_of(double t) const;
+
+  static constexpr int kLevels = 4;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint64_t kSlots = 64;  ///< Per level; bitmap word width.
+  /// Ticks covered by the whole wheel (kSlots^kLevels); deadlines further
+  /// out than this from the cursor wait in the overflow heap.
+  static constexpr std::uint64_t kHorizonTicks = kSlots * kSlots * kSlots * kSlots;
+
+ private:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::uint64_t kSlotMask = kSlots - 1;
+  /// Bucket tick of deadlines the tick computation overflowed on (huge or
+  /// non-finite t): later than every finite deadline.
+  static constexpr std::uint64_t kFarTick = ~std::uint64_t{0};
+  /// Tick values at or beyond this cannot be represented in the uint64 cast
+  /// (and are centuries past any simulation anyway): such deadlines —
+  /// including +inf — take the overflow path with a past-everything tick.
+  static constexpr double kMaxTickAsDouble = 9.0e18;
+
+  /// kErased: a linked node whose entry was cancelled — it stays threaded
+  /// in its bucket (singly-linked lists cannot unlink in O(1)) until the
+  /// cascade detaches the bucket and releases it.
+  enum class State : std::uint8_t { kFree, kLinked, kReady, kOverflow, kErased };
+
+  /// 40 bytes: no prev link (buckets are singly-linked) and no cached tick
+  /// (tick_of is one multiply; the slab footprint at 100k live timers is
+  /// the scarcer resource).
+  struct Timer {
+    double t = 0.0;
+    std::uint64_t key = 0;
+    std::uint64_t payload = 0;
+    std::uint32_t gen = 1;
+    std::uint32_t next = kNil;  ///< Bucket list link; free-list link when kFree.
+    std::uint32_t bucket = 0;   ///< Owning bucket index (kLinked/kErased only).
+    State state = State::kFree;
+  };
+
+  /// Node of ready_/overflow_. Stale once the timer's generation moved on
+  /// (erase is lazy for heap/vector-resident entries). Deliberately 24
+  /// bytes — ordering fields only, no payload: the per-tick bulk sort and
+  /// the overflow sifts move these around, and the payload is fetched from
+  /// the slab just once, when an entry becomes the cached winner (a line
+  /// the imminent pop dereferences anyway).
+  struct HeapEntry {
+    double t;
+    std::uint64_t key;
+    std::uint32_t id;
+    std::uint32_t gen;
+  };
+  /// Later-(t, key)-first ordering: the comparator of the overflow min-heap
+  /// (std::push_heap/pop_heap) and the sort order of ready_ (descending, so
+  /// the earliest entry is at the back). Keys are unique, so no full ties.
+  struct HeapLater {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.key > b.key;
+    }
+  };
+
+  // The per-firing path (insert/erase/peek/pop plus these helpers) is
+  // defined inline below the class: the heap backend it races against is a
+  // header-only std::priority_queue, and without cross-TU inlining the
+  // wheel would pay several opaque calls per firing that the heap doesn't.
+  std::uint32_t acquire(double t, std::uint64_t key, std::uint64_t payload);
+  void release(std::uint32_t id);
+  /// Route a detached timer to its bucket / ready_ / overflow_ based on its
+  /// tick's distance from the cursor.
+  void place(std::uint32_t id, std::uint64_t tick);
+  void link(std::uint32_t id, int level, std::uint64_t tick);
+  void push_ready(std::uint32_t id);
+  void push_overflow(std::uint32_t id);
+  /// Pop lazily-erased entries off the heap tops. Gated on the per-heap
+  /// stale counters: with no pending lazy erasures these are a single
+  /// branch, not two slab reads per peek.
+  void drop_stale_ready();
+  void drop_stale_overflow();
+  /// Jump the cursor to `tick` (every pending entry's tick must be >= it)
+  /// and cascade the slot containing `tick` at each level, top-down; due
+  /// entries end up in ready_.
+  void advance_to(std::uint64_t tick);
+  /// Recompute the cached minimum; false when no live entry exists.
+  bool refresh_next();
+
+  double tick_s_;
+  double inv_tick_s_;
+  std::vector<Timer> timers_;   ///< Slab; nodes recycled through free_head_.
+  std::uint32_t free_head_ = kNil;
+  std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlots> bucket_head_;
+  std::array<std::uint64_t, kLevels> occupied_{};  ///< One bit per slot.
+  std::vector<HeapEntry> ready_;     ///< Due at the cursor tick; sorted descending.
+  std::vector<HeapEntry> overflow_;  ///< Beyond the horizon, min-(t, key).
+  std::uint32_t stale_ready_ = 0;    ///< Lazily-erased entries still in ready_.
+  std::uint32_t stale_overflow_ = 0;
+  std::uint64_t cursor_ = 0;  ///< Tick of the last linked pop; never retreats.
+  std::size_t live_ = 0;
+  // Cached minimum: kept through inserts (compared incrementally) and
+  // invalidated by pops and by erasure of the cached winner.
+  bool next_valid_ = false;
+  Entry next_{};
+  std::uint32_t next_id_ = kNil;
+};
+
+// --- Inline hot path ------------------------------------------------------
+
+inline std::uint64_t TimerWheel::tick_of(double t) const {
+  const double q = t * inv_tick_s_;
+  // Monotone in t, with clamped endpoints: ordering correctness never
+  // depends on the tick (peek/pop compare (t, key) directly), only the
+  // bucketing does, so clamping is safe.
+  if (!(q >= 0.0)) return 0;
+  if (q >= kMaxTickAsDouble) return kFarTick;
+  return static_cast<std::uint64_t>(q);
+}
+
+inline std::uint32_t TimerWheel::acquire(double t, std::uint64_t key, std::uint64_t payload) {
+  std::uint32_t id;
+  if (free_head_ != kNil) {
+    id = free_head_;
+    free_head_ = timers_[id].next;
+  } else {
+    id = static_cast<std::uint32_t>(timers_.size());
+    timers_.push_back(Timer{});
+  }
+  Timer& tm = timers_[id];
+  tm.t = t;
+  tm.key = key;
+  tm.payload = payload;
+  tm.next = kNil;
+  return id;
+}
+
+inline void TimerWheel::release(std::uint32_t id) {
+  Timer& tm = timers_[id];
+  tm.state = State::kFree;
+  ++tm.gen;  // stale handles and lazy heap entries stop matching
+  tm.next = free_head_;
+  free_head_ = id;
+}
+
+inline void TimerWheel::link(std::uint32_t id, int level, std::uint64_t tick) {
+  Timer& tm = timers_[id];
+  const std::uint64_t slot = (tick >> (kSlotBits * level)) & kSlotMask;
+  const std::uint32_t b = static_cast<std::uint32_t>(level) * static_cast<std::uint32_t>(kSlots) +
+                          static_cast<std::uint32_t>(slot);
+  tm.state = State::kLinked;
+  tm.bucket = b;
+  // Push-front onto a singly-linked bucket: the only lines written are the
+  // new node (just filled by acquire, hot) and the head array (16 KB, hot).
+  // The previous head — a random slab line — is never touched; that one
+  // write per insert dominated the wheel's cost once the slab left L2.
+  tm.next = bucket_head_[b];
+  bucket_head_[b] = id;
+  occupied_[static_cast<std::size_t>(level)] |= std::uint64_t{1} << slot;
+}
+
+inline void TimerWheel::push_ready(std::uint32_t id) {
+  Timer& tm = timers_[id];
+  tm.state = State::kReady;
+  const HeapEntry e{tm.t, tm.key, id, tm.gen};
+  // Sorted insertion (ready_ is descending, earliest at the back). Only
+  // at-cursor-tick inserts come through here — the cascade path bulk
+  // appends and sorts instead — and those usually belong at/near the back.
+  ready_.insert(std::upper_bound(ready_.begin(), ready_.end(), e, HeapLater{}), e);
+}
+
+inline void TimerWheel::push_overflow(std::uint32_t id) {
+  Timer& tm = timers_[id];
+  tm.state = State::kOverflow;
+  overflow_.push_back(HeapEntry{tm.t, tm.key, id, tm.gen});
+  std::push_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+}
+
+inline void TimerWheel::place(std::uint32_t id, std::uint64_t tick) {
+  const std::uint64_t delta = tick <= cursor_ ? 0 : tick - cursor_;
+  if (delta == 0) {
+    push_ready(id);
+    return;
+  }
+  if (delta >= kHorizonTicks) {
+    push_overflow(id);
+    return;
+  }
+  int level = 0;
+  std::uint64_t span = kSlots;
+  while (delta >= span) {
+    ++level;
+    span <<= kSlotBits;
+  }
+  link(id, level, tick);
+}
+
+inline void TimerWheel::drop_stale_ready() {
+  if (stale_ready_ == 0) return;
+  while (!ready_.empty() && timers_[ready_.back().id].gen != ready_.back().gen) {
+    ready_.pop_back();
+    --stale_ready_;
+  }
+}
+
+inline void TimerWheel::drop_stale_overflow() {
+  if (stale_overflow_ == 0) return;
+  while (!overflow_.empty() && timers_[overflow_.front().id].gen != overflow_.front().gen) {
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    overflow_.pop_back();
+    --stale_overflow_;
+  }
+}
+
+inline TimerWheel::Handle TimerWheel::insert(double t, std::uint64_t key, std::uint64_t payload) {
+  const std::uint32_t id = acquire(t, key, payload);
+  place(id, tick_of(t));
+  ++live_;
+  // Keep the cached minimum current instead of invalidating it: one compare
+  // beats a rescan when inserts and pops interleave (periodic re-arming).
+  if (next_valid_ && (t < next_.t || (t == next_.t && key < next_.key))) {
+    next_ = Entry{t, key, payload};
+    next_id_ = id;
+  }
+  return Handle{id, timers_[id].gen};
+}
+
+inline bool TimerWheel::erase(Handle h) {
+  if (!h.valid() || h.id >= timers_.size()) return false;
+  Timer& tm = timers_[h.id];
+  if (tm.state == State::kFree || tm.state == State::kErased || tm.gen != h.gen) return false;
+  if (tm.state == State::kLinked) {
+    // Singly-linked buckets cannot unlink in O(1): mark the node dead in
+    // place and let the cascade release it when the bucket detaches. Its
+    // occupancy bit stays set until then — a cascade that sweeps only
+    // corpses simply leaves ready_ empty and refresh_next keeps going.
+    tm.state = State::kErased;
+  } else {
+    // kReady/kOverflow nodes release now; their heap entries go stale (the
+    // generation bump stops them matching) and the counter-gated
+    // drop_stale passes discard them from the top.
+    if (tm.state == State::kReady) {
+      ++stale_ready_;
+    } else {
+      ++stale_overflow_;
+    }
+    release(h.id);
+  }
+  --live_;
+  if (next_valid_ && next_id_ == h.id) next_valid_ = false;
+  return true;
+}
+
+inline const TimerWheel::Entry* TimerWheel::peek() {
+  if (live_ == 0) return nullptr;
+  if (!next_valid_ && !refresh_next()) return nullptr;
+  return &next_;
+}
+
+inline bool TimerWheel::pop(Entry& out) {
+  if (peek() == nullptr) return false;
+  const std::uint32_t id = next_id_;
+  Timer& tm = timers_[id];
+  if (tm.state == State::kLinked) {
+    // The winner has the minimum (t, key), hence the minimum tick: jumping
+    // the cursor to it is legal, and the cascade lands the winner (and its
+    // whole tick bucket) in ready_.
+    advance_to(tick_of(tm.t));
+  } else if (tm.state == State::kOverflow) {
+    // A beyond-horizon winner still advances the cursor, so inserts after
+    // the jump measure their delta from the new position instead of
+    // permanently overflowing. Remaining overflow entries drain lazily in
+    // heap order (never relocated — correct, just not O(1)).
+    const std::uint64_t tick = tick_of(tm.t);
+    if (tick != kFarTick && tick > cursor_) advance_to(tick);
+  }
+  if (tm.state == State::kReady) {
+    drop_stale_ready();
+    assert(!ready_.empty() && ready_.back().id == id);
+    ready_.pop_back();
+  } else {
+    assert(tm.state == State::kOverflow);
+    drop_stale_overflow();
+    assert(!overflow_.empty() && overflow_.front().id == id);
+    std::pop_heap(overflow_.begin(), overflow_.end(), HeapLater{});
+    overflow_.pop_back();
+  }
+  out = next_;  // peek() above validated the cached winner, which is `id`
+  release(id);
+  --live_;
+  // Common case — more of the same tick batch pending, nothing lazily
+  // erased, no overflow: the new winner is ready_'s front, no refresh pass.
+  if (!ready_.empty() && stale_ready_ == 0 && overflow_.empty()) {
+    const HeapEntry& f = ready_.back();
+    next_ = Entry{f.t, f.key, timers_[f.id].payload};
+    next_id_ = f.id;
+    next_valid_ = true;
+  } else {
+    next_valid_ = false;
+  }
+  return true;
+}
+
+}  // namespace perfcloud::sim

@@ -1,0 +1,224 @@
+// Edge-case gates for the hierarchical timer-wheel time core (DESIGN.md
+// §5l): slab-generation safety after node recycling, cancellation of a
+// timer that already cascaded levels, FIFO stability for simultaneous
+// deadlines split across a cascade boundary, far-future deadlines beyond
+// the top wheel level, and the allocation discipline of a warmed engine
+// under both time-queue backends (this binary links the counting
+// operator-new hook).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sim/alloc_gauge.hpp"
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/timer_wheel.hpp"
+
+namespace perfcloud::sim {
+namespace {
+
+constexpr double kTick = TimerWheel::kDefaultTickSeconds;
+
+TEST(TimerWheel, GenerationTagStopsStaleHandlesAfterSlabRecycling) {
+  TimerWheel w;
+  const TimerWheel::Handle a = w.insert(1.0, 1, 11);
+  TimerWheel::Entry e;
+  ASSERT_TRUE(w.pop(e));  // a fires; its slab node returns to the free list
+  EXPECT_EQ(e.payload, 11u);
+  EXPECT_EQ(w.locate(a), TimerWheel::kDead);
+
+  // The cursor sits at a's tick now; b lands on the same tick, so it goes
+  // straight to the ready heap — whose erase path releases immediately.
+  const TimerWheel::Handle b = w.insert(1.01, 2, 22);
+  ASSERT_EQ(b.id, a.id);    // the same slab node, recycled...
+  EXPECT_NE(b.gen, a.gen);  // ...under a new generation
+  EXPECT_FALSE(w.erase(a));  // the stale handle cannot touch b
+  EXPECT_EQ(w.size(), 1u);
+  ASSERT_EQ(w.locate(b), TimerWheel::kInReady);
+
+  // Recycling through erase (not just pop) bumps the generation too.
+  EXPECT_TRUE(w.erase(b));
+  EXPECT_TRUE(w.empty());
+  const TimerWheel::Handle c = w.insert(3.0, 3, 33);
+  ASSERT_EQ(c.id, b.id);
+  EXPECT_FALSE(w.erase(b));
+  EXPECT_EQ(w.locate(c), 0);
+  EXPECT_TRUE(w.erase(c));
+}
+
+TEST(TimerWheel, CancelOfAlreadyCascadedTimerDiesInPlace) {
+  TimerWheel w;
+  // 100 ticks out: beyond level 0's 64-tick span, so it starts on level 1.
+  const TimerWheel::Handle far = w.insert(100 * kTick, 7, 77);
+  EXPECT_EQ(w.locate(far), 1);
+
+  // Popping an earlier entry advances the cursor; the slot containing it on
+  // level 1 cascades, and `far` relocates strictly below its old level.
+  w.insert(90 * kTick, 1, 11);
+  TimerWheel::Entry e;
+  ASSERT_TRUE(w.pop(e));
+  EXPECT_EQ(e.key, 1u);
+  EXPECT_EQ(w.locate(far), 0);
+
+  // O(1) erase of the relocated timer: it is marked dead in place (buckets
+  // are singly-linked) and never fires; the queue reads empty immediately.
+  EXPECT_TRUE(w.erase(far));
+  EXPECT_EQ(w.locate(far), TimerWheel::kDead);
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.pop(e));
+  // A second erase through the same handle finds the corpse, not a timer.
+  EXPECT_FALSE(w.erase(far));
+}
+
+TEST(TimerWheel, SimultaneousDeadlinesKeepFifoAcrossCascadeBoundary) {
+  TimerWheel w;
+  const double t = 200 * kTick;
+  // Keys 0..9 join the deadline while it maps to level 1...
+  for (std::uint64_t k = 0; k < 10; ++k) w.insert(t, k, k);
+  // ...a pop advances the cursor (cascading level 1's earlier slot)...
+  w.insert(150 * kTick, 100, 100);
+  TimerWheel::Entry e;
+  ASSERT_TRUE(w.pop(e));
+  EXPECT_EQ(e.key, 100u);
+  // ...and keys 10..19 join the SAME deadline afterwards, landing on level
+  // 0. The batch now straddles two levels; it must still pop in key order.
+  for (std::uint64_t k = 10; k < 20; ++k) w.insert(t, k, k);
+
+  std::vector<std::uint64_t> order;
+  while (w.pop(e)) order.push_back(e.key);
+  ASSERT_EQ(order.size(), 20u);
+  for (std::uint64_t k = 0; k < 20; ++k) EXPECT_EQ(order[k], k);
+}
+
+TEST(TimerWheel, FarFutureDeadlinesWaitInOverflowAndStillOrder) {
+  TimerWheel w;
+  const double horizon_s = static_cast<double>(TimerWheel::kHorizonTicks) * kTick;
+  const TimerWheel::Handle far = w.insert(2.0 * horizon_s, 2, 22);
+  const TimerWheel::Handle never =
+      w.insert(std::numeric_limits<double>::infinity(), 3, 33);
+  EXPECT_EQ(w.locate(far), TimerWheel::kInOverflow);
+  EXPECT_EQ(w.locate(never), TimerWheel::kInOverflow);
+  w.insert(1.0, 1, 11);
+
+  TimerWheel::Entry e;
+  std::vector<std::uint64_t> keys;
+  while (w.pop(e)) keys.push_back(e.key);
+  EXPECT_EQ(keys, (std::vector<std::uint64_t>{1, 2, 3}));
+
+  // Popping the finite overflow entry jumped the cursor to its tick, so a
+  // deadline shortly after it routes through the wheel proper — the queue
+  // does not degenerate to a permanent overflow heap after a far jump.
+  const TimerWheel::Handle next = w.insert(2.0 * horizon_s + kTick, 4, 44);
+  EXPECT_EQ(w.locate(next), 0);
+  ASSERT_TRUE(w.pop(e));
+  EXPECT_EQ(e.key, 4u);
+}
+
+// --- The same edges through the EventQueue, under both backends ---
+
+class EventQueueBackend : public ::testing::TestWithParam<TimeQueueKind> {};
+
+TEST_P(EventQueueBackend, CancelOfCascadedEventStaysDead) {
+  EventQueue q(GetParam());
+  int fired = 0;
+  // 100 ticks out: on the wheel this starts above level 0 and cascades when
+  // the earlier event pops; the cancel must catch it wherever it lives.
+  const EventHandle victim = q.schedule(SimTime(100 * kTick), [&](SimTime) { fired += 10; });
+  q.schedule(SimTime(90 * kTick), [&](SimTime) { fired += 1; });
+  EXPECT_TRUE(q.run_next());
+  EXPECT_TRUE(q.cancel(victim));
+  EXPECT_FALSE(q.cancel(victim));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(fired, 1);
+}
+
+TEST_P(EventQueueBackend, SimultaneousFifoAcrossCascadeBoundary) {
+  EventQueue q(GetParam());
+  std::vector<int> order;
+  const SimTime t(200 * kTick);
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(t, [&order, i](SimTime) { order.push_back(i); });
+  }
+  q.schedule(SimTime(150 * kTick), [&order](SimTime) { order.push_back(-1); });
+  EXPECT_TRUE(q.run_next());  // advances past the cascade boundary
+  for (int i = 5; i < 10; ++i) {
+    q.schedule(t, [&order, i](SimTime) { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{-1, 0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST_P(EventQueueBackend, FarFutureEventsBeyondTopLevelFire) {
+  EventQueue q(GetParam());
+  const double horizon_s = static_cast<double>(TimerWheel::kHorizonTicks) * kTick;
+  std::vector<int> order;
+  q.schedule(SimTime(2.0 * horizon_s), [&](SimTime) { order.push_back(2); });
+  q.schedule(SimTime(1.0), [&](SimTime) { order.push_back(1); });
+  const EventHandle cancelled =
+      q.schedule(SimTime(3.0 * horizon_s), [&](SimTime) { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(cancelled));
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+INSTANTIATE_TEST_SUITE_P(TimeQueues, EventQueueBackend,
+                         ::testing::Values(TimeQueueKind::kHeap, TimeQueueKind::kWheel),
+                         [](const ::testing::TestParamInfo<TimeQueueKind>& info) {
+                           return info.param == TimeQueueKind::kWheel ? "wheel" : "heap";
+                         });
+
+// --- Engine: firing order and allocation discipline across backends ---
+
+TEST(EngineTimeQueue, PeriodicAndEventOrderIdenticalAcrossBackends) {
+  const auto run = [](TimeQueueKind kind) {
+    Engine eng(7, kind);
+    std::vector<std::pair<double, int>> fired;
+    for (int i = 0; i < 5; ++i) {
+      eng.every(0.7 + 0.3 * i, [&fired, i](SimTime t) { fired.emplace_back(t.seconds(), i); });
+    }
+    // One-shots colliding with periodic fire times: periodics must still
+    // fire first at equal timestamps, under either backend.
+    for (int i = 0; i < 20; ++i) {
+      eng.at(SimTime(0.7 * (i + 1)),
+             [&fired, i](SimTime t) { fired.emplace_back(t.seconds(), 100 + i); });
+    }
+    eng.run_until(SimTime(40.0));
+    return fired;
+  };
+  const auto heap = run(TimeQueueKind::kHeap);
+  const auto wheel = run(TimeQueueKind::kWheel);
+  EXPECT_FALSE(heap.empty());
+  EXPECT_EQ(heap, wheel);
+}
+
+TEST(EngineTimeQueue, WarmedPeriodicRearmIsAllocationFreeBothBackends) {
+  ASSERT_TRUE(alloc_gauge_linked());
+  for (const TimeQueueKind kind : {TimeQueueKind::kHeap, TimeQueueKind::kWheel}) {
+    Engine eng(5, kind);
+    long fires = 0;
+    for (int i = 0; i < 32; ++i) {
+      eng.every(0.25 + 0.01 * i, [&fires](SimTime) { ++fires; });
+    }
+    // Warm: slab and heap vectors at capacity, every periodic re-armed many
+    // times, the wheel's cursor well past its first full level-0 rotation.
+    eng.run_until(SimTime(60.0));
+    const long warm_fires = fires;
+
+    const AllocGaugeSnapshot before = alloc_gauge_read();
+    eng.run_until(SimTime(240.0));
+    const AllocGaugeSnapshot after = alloc_gauge_read();
+    EXPECT_EQ(after.allocs - before.allocs, 0u)
+        << (kind == TimeQueueKind::kWheel ? "wheel" : "heap") << " backend allocated "
+        << (after.bytes - before.bytes) << " bytes in steady state";
+    EXPECT_GT(fires, warm_fires);
+  }
+}
+
+}  // namespace
+}  // namespace perfcloud::sim
